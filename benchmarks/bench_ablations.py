@@ -1,0 +1,49 @@
+"""E13/E14 — ablations and search-cost variation (tables + kernels)."""
+
+from repro.core import build_uniform_model, lookahead_route
+from repro.experiments import run_experiment
+
+
+def test_e13_table(benchmark, table_sink):
+    """Regenerate the design-choice ablation table."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E13", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E13", tables)
+    rows = {row["variant"]: row for row in tables[0].rows}
+    baseline = rows["baseline (fast, dedupe, cutoff 1/N)"]["hops"]
+    # Exact sampler within noise of the fast path.
+    assert abs(rows["exact sampler"]["hops"] - baseline) < 0.35 * baseline
+    # Bidirectional links and lookahead never hurt.
+    assert rows["bidirectional long links"]["hops"] <= baseline * 1.05
+    assert rows["NoN lookahead routing [ref 10]"]["hops"] <= baseline * 1.05
+    # All variants deliver.
+    assert all(row["success"] == 1.0 for row in tables[0].rows)
+
+
+def test_e14_table(benchmark, table_sink):
+    """Regenerate the search-cost variation table (Sec. 5 future work)."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E14", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E14", tables)
+    rows = tables[0].rows
+    for row in rows:
+        # No heavy tail: p99 within a small factor of the mean.
+        assert row["p99"] < 3.0 * row["mean"] + 2.0
+    # Concentration: relative spread shrinks as N grows (per model).
+    uniform_rows = [r for r in rows if r["model"] == "uniform"]
+    assert uniform_rows[-1]["cv"] < uniform_rows[0]["cv"] * 1.2
+
+
+def test_lookahead_route_kernel(benchmark, rng):
+    """Kernel: one NoN-lookahead route on a 2048-peer graph."""
+    graph = build_uniform_model(n=2048, rng=rng)
+
+    def route():
+        return lookahead_route(
+            graph, int(rng.integers(graph.n)), float(rng.random())
+        )
+
+    result = benchmark(route)
+    assert result.success

@@ -1,0 +1,36 @@
+"""E9 — Sec. 3.1 robustness: link loss and peer failure (tables + kernels)."""
+
+from repro.core import build_uniform_model, sample_routes
+from repro.experiments import run_experiment
+from repro.overlay import drop_long_links
+
+
+def test_e9_tables(benchmark, table_sink):
+    """Regenerate the E9 robustness tables."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E9", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E9", tables)
+    loss_rows = tables[0].rows
+    # Neighbour edges intact => lookups always deliver.
+    assert all(row["success"] == 1.0 for row in loss_rows)
+    # Graceful degradation: hops grow with loss but stay under polylog
+    # until the extreme end of the sweep.
+    assert loss_rows[-1]["hops"] > loss_rows[0]["hops"]
+    assert loss_rows[1]["hops"] < loss_rows[1]["polylog"]
+
+
+def test_drop_links_kernel(benchmark, rng):
+    """Kernel: copy-and-damage a 2048-peer graph (50% link loss)."""
+    graph = build_uniform_model(n=2048, rng=rng)
+    damaged = benchmark(lambda: drop_long_links(graph, 0.5, rng))
+    assert damaged.total_long_links() < graph.total_long_links()
+
+
+def test_route_on_damaged_graph(benchmark, rng):
+    """Kernel: 200 lookups at 80% long-link loss (the degraded regime)."""
+    graph = drop_long_links(build_uniform_model(n=1024, rng=rng), 0.8, rng)
+    results = benchmark.pedantic(
+        lambda: sample_routes(graph, 200, rng), rounds=1, iterations=1
+    )
+    assert all(r.success for r in results)

@@ -1,0 +1,50 @@
+"""E10 — Sec. 4.2 construction protocols (table + join kernels)."""
+
+from repro.distributions import PowerLaw
+from repro.experiments import run_experiment
+from repro.overlay import bootstrap_network, join_adaptive, join_known_f
+
+
+def test_e10_table(benchmark, table_sink):
+    """Regenerate the E10 protocol-comparison table."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E10", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E10", tables)
+    rows = {row["protocol"]: row for row in tables[0].rows}
+    offline = rows["offline (Theorem 2)"]["hops"]
+    # Live protocols land within 2x of the idealised offline build.
+    for name, row in rows.items():
+        assert row["hops"] < 2.0 * offline + 1.0, name
+        assert row["success"] == 1.0
+
+
+def test_known_f_join_kernel(benchmark, rng):
+    """Kernel: one known-f join into a 512-peer network."""
+    dist = PowerLaw(alpha=1.5, shift=1e-3)
+    net, _ = bootstrap_network(dist, 512, rng)
+
+    def join():
+        peer_id = float(dist.sample(1, rng)[0])
+        while peer_id in net:
+            peer_id = float(dist.sample(1, rng)[0])
+        receipt = join_known_f(net, dist, rng, peer_id=peer_id)
+        net.remove_peer(receipt.peer_id)  # keep the fixture size stable
+        return receipt
+
+    receipt = benchmark(join)
+    assert receipt.n_lookups > 0
+
+
+def test_adaptive_join_kernel(benchmark, rng):
+    """Kernel: one adaptive join (sample 64 ids, estimate, link)."""
+    dist = PowerLaw(alpha=1.5, shift=1e-3)
+    net, _ = bootstrap_network(dist, 512, rng)
+
+    def join():
+        receipt = join_adaptive(net, rng, sample_size=64)
+        net.remove_peer(receipt.peer_id)
+        return receipt
+
+    receipt = benchmark(join)
+    assert receipt.sample_size == 64

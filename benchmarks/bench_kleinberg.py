@@ -1,0 +1,39 @@
+"""E11 — Sec. 2 background: Kleinberg's r-sweep (table + lattice kernels)."""
+
+from repro.core import build_kleinberg_ring, build_kleinberg_torus
+from repro.experiments import run_experiment
+
+
+def test_e11_table(benchmark, table_sink):
+    """Regenerate the E11 hops-vs-r table (U-shape, min near r=dim)."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E11", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E11", tables)
+    rows = {row["r"]: row for row in tables[0].rows}
+    # The navigability cliff: r far above dim is much worse than r = dim.
+    assert rows[1.0]["ring"] < rows[3.0]["ring"]
+    assert rows[2.0]["torus"] <= rows[3.0]["torus"] * 1.2
+
+
+def test_build_ring_lattice(benchmark, rng):
+    """Kernel: 8192-node 1-d Kleinberg lattice, q=1."""
+    lattice = benchmark(lambda: build_kleinberg_ring(8192, r=1.0, q=1, rng=rng))
+    assert lattice.n == 8192
+
+
+def test_build_torus_lattice(benchmark, rng):
+    """Kernel: 48x48 2-d Kleinberg torus, q=1."""
+    lattice = benchmark(lambda: build_kleinberg_torus(48, r=2.0, q=1, rng=rng))
+    assert lattice.n == 2304
+
+
+def test_route_ring_lattice(benchmark, rng):
+    """Kernel: one greedy route on the 8192-node ring at r=1."""
+    lattice = build_kleinberg_ring(8192, r=1.0, q=1, rng=rng)
+
+    def route():
+        return lattice.route(int(rng.integers(8192)), int(rng.integers(8192)))
+
+    hops = benchmark(route)
+    assert hops >= 0

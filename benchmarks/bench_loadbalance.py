@@ -1,0 +1,42 @@
+"""E8 — Sec. 4.1: storage balance under skewed keys (table + kernels)."""
+
+import numpy as np
+
+from repro.distributions import PowerLaw
+from repro.experiments import run_experiment
+from repro.loadbalance import rebalance_reorder, storage_loads, uniform_placement
+
+
+def test_e8_table(benchmark, table_sink):
+    """Regenerate the E8 placement-vs-balance table."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E8", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E8", tables)
+    rows = tables[0].rows
+    strongest = [r for r in rows if r["strength"] == max(x["strength"] for x in rows)]
+    by_placement = {r["placement"]: r for r in strongest}
+    # Under extreme skew: uniform placement collapses, the mechanisms hold.
+    assert by_placement["uniform"]["gini"] > 0.8
+    assert by_placement["density-tracking"]["gini"] < 0.55
+    assert by_placement["quantile"]["gini"] < 0.15
+    assert by_placement["uniform+rebalance"]["gini"] < 0.5
+
+
+def test_storage_loads_kernel(benchmark, rng):
+    """Kernel: assign 100k keys to 1024 peers."""
+    peers = np.sort(rng.random(1024))
+    keys = PowerLaw(alpha=1.5, shift=1e-3).sample(100_000, rng)
+    loads = benchmark(lambda: storage_loads(peers, keys))
+    assert loads.sum() == 100_000
+
+
+def test_rebalance_kernel(benchmark, rng):
+    """Kernel: reorder-rebalance 64 uniform peers over skewed keys."""
+    keys = PowerLaw(alpha=2.0, shift=1e-3).sample(10_000, rng)
+
+    def run():
+        return rebalance_reorder(uniform_placement(64, rng), keys, threshold=4.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.converged

@@ -1,0 +1,38 @@
+"""E3 — Sec. 3.1: model vs logarithmic-style DHTs (tables + build kernels)."""
+
+import numpy as np
+
+from repro.baselines import ChordOverlay, PastryOverlay, PGridOverlay
+from repro.experiments import run_experiment
+
+
+def test_e3_tables(benchmark, table_sink):
+    """Regenerate the E3 comparison and link-placement tables."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E3", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E3", tables)
+    hops = {row["overlay"]: row["hops"] for row in tables[0].rows}
+    # All four land in the same O(log N) range (within 4x of each other).
+    assert max(hops.values()) < 4 * min(hops.values())
+
+
+def test_build_chord_n2048(benchmark, rng):
+    """Kernel: build a 2048-peer Chord ring (finger tables)."""
+    ids = np.sort(rng.random(2048))
+    overlay = benchmark(lambda: ChordOverlay(ids))
+    assert overlay.n == 2048
+
+
+def test_build_pastry_n1024(benchmark, rng):
+    """Kernel: build a 1024-peer Pastry overlay (tables + leaf sets)."""
+    ids = np.sort(rng.random(1024))
+    overlay = benchmark(lambda: PastryOverlay(ids, rng))
+    assert overlay.n == 1024
+
+
+def test_build_pgrid_n1024(benchmark, rng):
+    """Kernel: build a 1024-peer P-Grid trie."""
+    ids = np.sort(rng.random(1024))
+    overlay = benchmark(lambda: PGridOverlay(ids, rng))
+    assert overlay.n == 1024

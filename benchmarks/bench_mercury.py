@@ -1,0 +1,28 @@
+"""E12 — Mercury's sampling heuristic vs the formal model (table + kernel)."""
+
+import numpy as np
+
+from repro.baselines import MercuryOverlay
+from repro.distributions import PowerLaw
+from repro.experiments import run_experiment
+
+
+def test_e12_table(benchmark, table_sink):
+    """Regenerate the E12 sampling-budget convergence table."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E12", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E12", tables)
+    rows = tables[0].rows
+    # Every budget is within a small factor of the true-CDF model (far
+    # from the naive regime's order-of-magnitude blow-up).
+    assert all(row["penalty"] < 3.0 for row in rows)
+
+
+def test_build_mercury_n1024(benchmark, rng):
+    """Kernel: build a 1024-peer Mercury overlay (per-peer estimation)."""
+    ids = np.sort(PowerLaw(alpha=1.8, shift=1e-4).sample(1024, rng))
+    overlay = benchmark.pedantic(
+        lambda: MercuryOverlay(ids, rng, sample_size=64), rounds=1, iterations=2
+    )
+    assert overlay.n == 1024

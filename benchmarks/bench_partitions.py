@@ -1,0 +1,23 @@
+"""E2 — eqs. (5)/(6): partition advance statistics (table + kernel)."""
+
+from repro.core import advance_stats, build_uniform_model, sample_routes
+from repro.experiments import run_experiment
+
+
+def test_e2_table(benchmark, table_sink):
+    """Regenerate the E2 proof-internals table (Pnext, E[X_j] vs bounds)."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E2", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E2", tables)
+    for row in tables[0].rows:
+        assert row["p_advance"] >= row["bound_c"]
+        assert row["mean_run"] <= row["bound_run"]
+
+
+def test_advance_stats_kernel(benchmark, rng):
+    """Kernel: partition-trace analysis of 300 routed paths."""
+    graph = build_uniform_model(n=1024, rng=rng)
+    routes = sample_routes(graph, 300, rng)
+    stats = benchmark(lambda: advance_stats(graph, routes))
+    assert stats.n_hops > 0

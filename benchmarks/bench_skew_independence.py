@@ -1,0 +1,35 @@
+"""E6 — the headline: routing cost vs skew for every competitor."""
+
+from repro.experiments import run_experiment
+
+
+def test_e6_table(benchmark, table_sink):
+    """Regenerate the headline skew-sweep table (model flat, rivals degrade)."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E6", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E6", tables)
+    rows = tables[0].rows
+    flat, extreme = rows[0], rows[-1]
+    # Model 2 stays flat across the sweep (Theorem 2).
+    assert extreme["model"] < 1.5 * flat["model"]
+    # The naive construction and unhashed Chord blow up under skew.
+    assert extreme["naive"] > 5 * extreme["model"]
+    assert extreme["chord"] > 5 * extreme["model"]
+    # P-Grid keeps hops but pays routing state.
+    assert extreme["pgrid"] < 2 * extreme["model"]
+    assert extreme["pgrid_table"] > flat["pgrid_table"]
+    # Mercury tracks the model within a small factor.
+    assert extreme["mercury"] < 3 * extreme["model"]
+
+
+def test_e6_bimodal_family(benchmark, table_sink):
+    """Ablation: the same sweep for a bimodal (two-hot-region) family."""
+    from repro.experiments.skew_independence import run_e6
+
+    table = benchmark.pedantic(
+        lambda: run_e6(seed=0, quick=True, family="bimodal"), rounds=1, iterations=1
+    )
+    table_sink("E6-bimodal", [table])
+    rows = table.rows
+    assert rows[-1]["model"] < 1.5 * rows[0]["model"]

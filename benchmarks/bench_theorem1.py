@@ -1,0 +1,42 @@
+"""E1 — Theorem 1: uniform-model hop scaling (table + kernels)."""
+
+from repro.core import build_uniform_model, greedy_route, sample_routes
+from repro.experiments import run_experiment
+
+
+def test_e1_table(benchmark, table_sink):
+    """Regenerate the E1 scaling table (hops vs N vs the (1/c)log2N+1 bound)."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E1", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E1", tables)
+    for row in tables[0].rows:
+        assert row["interval_hops"] < row["bound"]
+        assert row["success"] == 1.0
+
+
+def test_build_uniform_graph_n4096(benchmark, rng):
+    """Kernel: construct a 4096-peer uniform-model graph (fast sampler)."""
+    graph = benchmark(lambda: build_uniform_model(n=4096, rng=rng))
+    assert graph.n == 4096
+
+
+def test_greedy_route_n4096(benchmark, rng):
+    """Kernel: one greedy lookup on a 4096-peer graph."""
+    graph = build_uniform_model(n=4096, rng=rng)
+
+    def route():
+        source = int(rng.integers(graph.n))
+        return greedy_route(graph, source, float(rng.random()))
+
+    result = benchmark(route)
+    assert result.success
+
+
+def test_thousand_routes_n1024(benchmark, rng):
+    """Kernel: 1000 lookups on a 1024-peer graph (the E1 inner loop)."""
+    graph = build_uniform_model(n=1024, rng=rng)
+    results = benchmark.pedantic(
+        lambda: sample_routes(graph, 1000, rng), rounds=1, iterations=1
+    )
+    assert all(r.success for r in results)

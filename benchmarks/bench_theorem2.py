@@ -1,0 +1,44 @@
+"""E5 — Theorem 2: skewed-model hop scaling (table + kernels)."""
+
+import numpy as np
+
+from repro.core import build_skewed_model, sample_routes
+from repro.distributions import PowerLaw
+from repro.experiments import run_experiment
+
+
+def test_e5_table(benchmark, table_sink):
+    """Regenerate the E5 skewed-scaling table across the distribution suite."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E5", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E5", tables)
+    rows = {row["distribution"]: row for row in tables[0].rows}
+    uniform_slope = rows["uniform"]["slope"]
+    for name, row in rows.items():
+        # Theorem 2: the scaling slope is skew-independent.
+        assert abs(row["slope"] - uniform_slope) < 0.6 * max(uniform_slope, 0.3), name
+
+
+def test_build_skewed_graph_n4096(benchmark, rng):
+    """Kernel: 4096-peer eq. (7) graph over a strong power law."""
+    dist = PowerLaw(alpha=1.8, shift=1e-4)
+    graph = benchmark(lambda: build_skewed_model(dist, n=4096, rng=rng))
+    assert graph.n == 4096
+
+
+def test_cdf_normalisation_kernel(benchmark, rng):
+    """Kernel: the Figure 1 normalisation map F over 100k points."""
+    dist = PowerLaw(alpha=1.8, shift=1e-4)
+    xs = rng.random(100_000)
+    out = benchmark(lambda: dist.cdf(xs))
+    assert np.all((out >= 0) & (out <= 1))
+
+
+def test_route_skewed_n4096(benchmark, rng):
+    """Kernel: 200 lookups on a 4096-peer skewed graph."""
+    graph = build_skewed_model(PowerLaw(alpha=1.8, shift=1e-4), n=4096, rng=rng)
+    results = benchmark.pedantic(
+        lambda: sample_routes(graph, 200, rng), rounds=1, iterations=1
+    )
+    assert all(r.success for r in results)

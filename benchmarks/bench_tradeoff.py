@@ -1,0 +1,37 @@
+"""E4 — Sec. 3.1: routing-table-size / search-cost trade-off."""
+
+from repro.core import GraphConfig, build_uniform_model, sample_routes
+from repro.experiments import run_experiment
+
+
+def test_e4_table(benchmark, table_sink):
+    """Regenerate the E4 trade-off table (hops*k ~ const, Symphony ref)."""
+    tables = benchmark.pedantic(
+        lambda: run_experiment("E4", seed=0, quick=True), rounds=1, iterations=1
+    )
+    table_sink("E4", tables)
+    rows = tables[0].rows
+    # More links => fewer hops, monotonically down the sweep.
+    assert rows[-1]["hops"] < rows[0]["hops"]
+    # hops*k stays within a small band (the log^2/k law), k >= 2.
+    products = [row["hops_x_k"] for row in rows[1:]]
+    assert max(products) < 4 * min(products)
+
+
+def test_build_constant_degree_graph(benchmark, rng):
+    """Kernel: 2048-peer graph at Symphony-like k=4."""
+    graph = benchmark(
+        lambda: build_uniform_model(
+            n=2048, rng=rng, config=GraphConfig(out_degree=4)
+        )
+    )
+    assert graph.n == 2048
+
+
+def test_route_constant_degree(benchmark, rng):
+    """Kernel: 200 lookups at k=2 (the slow end of the trade-off)."""
+    graph = build_uniform_model(n=1024, rng=rng, config=GraphConfig(out_degree=2))
+    results = benchmark.pedantic(
+        lambda: sample_routes(graph, 200, rng), rounds=1, iterations=1
+    )
+    assert all(r.success for r in results)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one experiment table (quick-sized, so the
+whole suite stays laptop-fast) and micro-benchmarks the kernels behind
+it.  Tables are printed and also written to ``benchmarks/results/`` so a
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced tables
+on disk.  Full-size tables are produced by ``python -m repro run all``
+and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def table_sink():
+    """Return a callable that prints and persists experiment tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(exp_id: str, tables) -> None:
+        text = "\n\n".join(table.render() for table in tables)
+        print()
+        print(text)
+        (RESULTS_DIR / f"{exp_id.lower()}.txt").write_text(text + "\n")
+
+    return sink
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator per benchmark."""
+    return np.random.default_rng(0)

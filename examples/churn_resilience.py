@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Live-system scenario: grow a network by joins, survive churn, self-repair.
+
+Exercises the Section 4.2 machinery end to end:
+
+1. bootstrap a network peer-by-peer with the known-f join protocol;
+2. hammer it with churn epochs (silent departures + fresh joins);
+3. compare a maintenance-enabled run against a no-maintenance run;
+4. inject a flash crowd departure (30% leave at once) and watch repair.
+
+Run:  python examples/churn_resilience.py
+"""
+
+import numpy as np
+
+from repro import PowerLaw
+from repro.overlay import (
+    ChurnConfig,
+    bootstrap_network,
+    maintenance_round,
+    measure_network,
+    run_churn,
+)
+
+N_PEERS = 384
+SEED = 29
+
+
+def print_epochs(title, history):
+    print(title)
+    print("  epoch |  peers | hops | success | dangling links")
+    for e in history:
+        print(
+            f"  {e.epoch:5d} | {e.n_peers:6d} | {e.mean_hops:4.1f} | "
+            f"{e.success_rate:7.2f} | {e.dangling_links:5d}"
+        )
+    print()
+
+
+def main() -> None:
+    dist = PowerLaw(alpha=1.5, shift=1e-3)
+
+    print(f"== bootstrap: {N_PEERS} known-f joins ==")
+    rng = np.random.default_rng(SEED)
+    net, receipts = bootstrap_network(dist, N_PEERS, rng)
+    join_cost = np.mean([r.lookup_hops for r in receipts[N_PEERS // 2 :]])
+    baseline = measure_network(net, 300, rng)
+    print(f"mean join cost (late joiners): {join_cost:.1f} routed hops")
+    print(f"lookup quality: {baseline.mean_hops:.2f} hops, "
+          f"success {baseline.success_rate:.2f}\n")
+
+    config = ChurnConfig(
+        epochs=6, leave_fraction=0.12, join_fraction=0.12,
+        maintenance_fraction=0.3, lookups_per_epoch=150,
+    )
+    history = run_churn(net, dist, config, rng)
+    print_epochs("== churn with maintenance (30% of peers refresh per epoch) ==",
+                 history)
+
+    # The decay baseline: same churn, nobody repairs their links.
+    rng2 = np.random.default_rng(SEED)
+    net2, _ = bootstrap_network(dist, N_PEERS, rng2)
+    no_maint = ChurnConfig(
+        epochs=6, leave_fraction=0.12, join_fraction=0.12,
+        maintenance_fraction=0.0, lookups_per_epoch=150,
+    )
+    history2 = run_churn(net2, dist, no_maint, rng2)
+    print_epochs("== churn without maintenance (links decay) ==", history2)
+
+    print("== flash crowd: 30% of peers vanish at once ==")
+    ids = net.ids_array()
+    leavers = rng.choice(len(ids), size=int(0.3 * len(ids)), replace=False)
+    for idx in leavers:
+        net.remove_peer(float(ids[idx]))
+    hurt = measure_network(net, 300, rng)
+    print(f"immediately after: {hurt.mean_hops:.2f} hops, "
+          f"{net.dangling_link_count()} dangling links")
+    report = maintenance_round(net, rng, distribution=dist, fraction=1.0)
+    healed = measure_network(net, 300, rng)
+    print(f"after one full maintenance round ({report.lookup_hops} repair hops): "
+          f"{healed.mean_hops:.2f} hops, {net.dangling_link_count()} dangling")
+    print("\nneighbour links keep lookups correct throughout; maintenance "
+          "restores the hop constant — the Section 3.1 robustness story.")
+
+
+if __name__ == "__main__":
+    main()

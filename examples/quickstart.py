@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: build a skew-adapted small-world overlay and route lookups.
+
+The 60-second tour of the library:
+
+1. pick a (skewed) key distribution,
+2. build the paper's eq. (7) small-world graph over peers drawn from it,
+3. route greedy lookups and compare against the Theorem 1/2 bound,
+4. see why the naive (skew-oblivious) construction fails.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    PowerLaw,
+    build_naive_model,
+    build_skewed_model,
+    build_uniform_model,
+    expected_hops_bound,
+    sample_routes,
+)
+
+N_PEERS = 2048
+N_LOOKUPS = 1000
+SEED = 7
+
+
+def mean_hops(graph, rng, n=N_LOOKUPS):
+    """Mean greedy hop count over random peer-to-peer lookups."""
+    routes = sample_routes(graph, n, rng)
+    assert all(r.success for r in routes), "greedy routing must always arrive"
+    return float(np.mean([r.hops for r in routes]))
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+
+    print(f"== {N_PEERS} peers, log2(N) = {np.log2(N_PEERS):.0f} long links each ==\n")
+
+    # --- Model 1: uniform key distribution (paper Section 3) -------------
+    uniform = build_uniform_model(n=N_PEERS, rng=rng)
+    h_uniform = mean_hops(uniform, rng)
+    print(f"uniform model:        {h_uniform:5.2f} hops "
+          f"(Theorem 1 bound: {expected_hops_bound(N_PEERS):.1f})")
+
+    # --- Model 2: skewed keys, eq. (7) criterion (paper Section 4) -------
+    # A heavy power law: ~half of all peers sit in 0.1% of the key space.
+    skew = PowerLaw(alpha=1.8, shift=1e-4)
+    skewed = build_skewed_model(skew, n=N_PEERS, rng=rng)
+    h_skewed = mean_hops(skewed, rng)
+    print(f"skewed model (eq. 7): {h_skewed:5.2f} hops "
+          "<- same cost: Theorem 2's skew-independence")
+
+    # --- The baseline the paper improves on ------------------------------
+    naive = build_naive_model(skew, rng=rng, ids=skewed.ids.copy())
+    h_naive = mean_hops(naive, rng, n=200)
+    print(f"naive construction:   {h_naive:5.2f} hops "
+          "<- skew-oblivious links collapse under the same skew")
+
+    print(
+        f"\nspeedup of the paper's construction over naive: "
+        f"{h_naive / h_skewed:.0f}x at skew alpha={skew.alpha}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy install shim.
+
+All metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

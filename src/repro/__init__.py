@@ -1,0 +1,107 @@
+"""repro — small-world overlays for non-uniformly distributed key spaces.
+
+A production-quality reproduction of Girdzijauskas, Datta & Aberer,
+*On Small World Graphs in Non-uniformly Distributed Key Spaces*
+(ICDE 2005).  The package provides:
+
+* the paper's two models — uniform key distribution with logarithmic
+  outdegree (Section 3) and the skew-adapted eq. (7) construction
+  (Section 4) — plus greedy routing and the proofs' analytic bounds
+  (:mod:`repro.core`);
+* the key-space geometries and an analytic distribution library
+  (:mod:`repro.keyspace`, :mod:`repro.distributions`);
+* density estimation for peers that must *learn* the key distribution
+  (:mod:`repro.estimation`);
+* a message-level overlay simulator with join protocols, maintenance and
+  churn (:mod:`repro.overlay`);
+* faithful baseline DHTs — Chord, Pastry, P-Grid, Symphony, Mercury,
+  CAN, Watts–Strogatz (:mod:`repro.baselines`);
+* load-balancing mechanisms and metrics (:mod:`repro.loadbalance`),
+  workload generators (:mod:`repro.workloads`), graph analysis
+  (:mod:`repro.analysis`) and the full experiment harness
+  (:mod:`repro.experiments`, CLI: ``python -m repro``).
+
+Quickstart::
+
+    import numpy as np
+    from repro import PowerLaw, build_skewed_model, sample_routes
+
+    rng = np.random.default_rng(7)
+    graph = build_skewed_model(PowerLaw(alpha=1.5), n=2048, rng=rng)
+    routes = sample_routes(graph, 500, rng)
+    print(sum(r.hops for r in routes) / len(routes))   # ~log2(2048) hops
+"""
+
+from repro.core import (
+    GraphConfig,
+    RouteResult,
+    SmallWorldGraph,
+    advance_probability_bound,
+    advance_stats,
+    build_kleinberg_ring,
+    build_kleinberg_torus,
+    build_naive_model,
+    build_skewed_model,
+    build_uniform_model,
+    default_out_degree,
+    expected_hops_bound,
+    greedy_route,
+    lookahead_route,
+    partition_hops_bound,
+    partition_index,
+    sample_routes,
+)
+from repro.distributions import (
+    Distribution,
+    Empirical,
+    IntegerBeta,
+    Mixture,
+    PiecewiseConstant,
+    PowerLaw,
+    TruncatedExponential,
+    TruncatedNormal,
+    Uniform,
+    make_skewed,
+    zipf_distribution,
+)
+from repro.keyspace import IntervalSpace, KeySpace, RingSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "GraphConfig",
+    "SmallWorldGraph",
+    "RouteResult",
+    "build_uniform_model",
+    "build_skewed_model",
+    "build_naive_model",
+    "build_kleinberg_ring",
+    "build_kleinberg_torus",
+    "greedy_route",
+    "lookahead_route",
+    "sample_routes",
+    "advance_stats",
+    "partition_index",
+    "advance_probability_bound",
+    "partition_hops_bound",
+    "expected_hops_bound",
+    "default_out_degree",
+    # key spaces
+    "KeySpace",
+    "IntervalSpace",
+    "RingSpace",
+    # distributions
+    "Distribution",
+    "Uniform",
+    "PowerLaw",
+    "TruncatedNormal",
+    "TruncatedExponential",
+    "IntegerBeta",
+    "PiecewiseConstant",
+    "Mixture",
+    "Empirical",
+    "zipf_distribution",
+    "make_skewed",
+]

@@ -1,0 +1,37 @@
+"""Graph and routing analysis: scaling fits, degrees, partitions, tests."""
+
+from repro.analysis.degree import DegreeSummary, degree_summary, in_degrees
+from repro.analysis.hops import LogFit, fit_log_slope
+from repro.analysis.partition_stats import (
+    link_partition_histogram,
+    partition_uniformity,
+)
+from repro.analysis.smallworld import (
+    SmallWorldReport,
+    adjacency_sets,
+    clustering_coefficient,
+    mean_shortest_path,
+    small_world_report,
+)
+from repro.analysis.stats_tests import KSResult, bootstrap_mean_ci, ks_two_sample
+from repro.analysis.text_plots import ascii_histogram, ascii_series
+
+__all__ = [
+    "LogFit",
+    "fit_log_slope",
+    "DegreeSummary",
+    "degree_summary",
+    "in_degrees",
+    "link_partition_histogram",
+    "partition_uniformity",
+    "adjacency_sets",
+    "clustering_coefficient",
+    "mean_shortest_path",
+    "SmallWorldReport",
+    "small_world_report",
+    "KSResult",
+    "ks_two_sample",
+    "bootstrap_mean_ci",
+    "ascii_histogram",
+    "ascii_series",
+]

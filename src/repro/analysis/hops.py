@@ -1,0 +1,59 @@
+"""Hop-count scaling analysis: fitting the ``a·log2(N) + b`` law.
+
+Theorems 1 and 2 predict expected hops linear in ``log2 N``; the scaling
+experiments verify this by least-squares fitting measured means against
+``log2 N`` and reporting the slope, intercept and fit quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LogFit", "fit_log_slope"]
+
+
+@dataclass
+class LogFit:
+    """Least-squares fit of ``hops ≈ slope · log2(N) + intercept``.
+
+    Attributes:
+        slope: hops added per doubling of the population.
+        intercept: fitted offset.
+        r_squared: coefficient of determination of the fit.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n: int) -> float:
+        """Return the fitted hop count for a population of size ``n``."""
+        return self.slope * math.log2(n) + self.intercept
+
+
+def fit_log_slope(ns, mean_hops) -> LogFit:
+    """Fit mean hop counts against ``log2(N)``.
+
+    Args:
+        ns: population sizes (>= 2 distinct values).
+        mean_hops: measured mean hops, aligned with ``ns``.
+
+    Raises:
+        ValueError: on mismatched lengths or fewer than two points.
+    """
+    ns = np.asarray(list(ns), dtype=float)
+    hops = np.asarray(list(mean_hops), dtype=float)
+    if len(ns) != len(hops):
+        raise ValueError("ns and mean_hops must have equal length")
+    if len(ns) < 2:
+        raise ValueError("need at least two points to fit")
+    x = np.log2(ns)
+    slope, intercept = np.polyfit(x, hops, deg=1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((hops - predicted) ** 2))
+    ss_tot = float(np.sum((hops - hops.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LogFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)

@@ -1,0 +1,94 @@
+"""Statistical tests used by the equivalence experiments.
+
+Experiment E7 (the Figure 1/2 equivalence) compares link-length
+distributions of graphs built in the skewed space against graphs built
+in the normalised space: a two-sample Kolmogorov–Smirnov test decides
+whether the two samples could come from the same distribution.
+Implemented from first principles to keep the core dependency-light
+(scipy, when present, is only used as a cross-check in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KSResult", "ks_two_sample", "bootstrap_mean_ci"]
+
+
+@dataclass
+class KSResult:
+    """Two-sample Kolmogorov–Smirnov outcome.
+
+    Attributes:
+        statistic: the sup-distance between the two empirical CDFs.
+        p_value: asymptotic (Kolmogorov) p-value.
+        n1, n2: sample sizes.
+    """
+
+    statistic: float
+    p_value: float
+    n1: int
+    n2: int
+
+
+def _kolmogorov_sf(x: float) -> float:
+    """Survival function of the Kolmogorov distribution (series form)."""
+    if x <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * x * x)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return max(0.0, min(1.0, 2.0 * total))
+
+
+def ks_two_sample(a, b) -> KSResult:
+    """Two-sample KS test with the asymptotic Kolmogorov p-value.
+
+    Raises:
+        ValueError: if either sample is empty.
+    """
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    n1, n2 = len(a), len(b)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("both samples must be non-empty")
+    # Evaluate both ECDFs over the pooled sample points.
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / n1
+    cdf_b = np.searchsorted(b, pooled, side="right") / n2
+    statistic = float(np.max(np.abs(cdf_a - cdf_b)))
+    effective = math.sqrt(n1 * n2 / (n1 + n2))
+    # Small-sample continuity correction (as in classic implementations).
+    arg = (effective + 0.12 + 0.11 / effective) * statistic
+    return KSResult(statistic=statistic, p_value=_kolmogorov_sf(arg), n1=n1, n2=n2)
+
+
+def bootstrap_mean_ci(
+    values,
+    rng: np.random.Generator,
+    n_boot: int = 1000,
+    confidence: float = 0.95,
+) -> tuple[float, float, float]:
+    """Return ``(mean, lo, hi)``: a bootstrap confidence interval of the mean.
+
+    Raises:
+        ValueError: on an empty sample or a confidence outside ``(0, 1)``.
+    """
+    values = np.asarray(values, dtype=float)
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    means = np.empty(n_boot)
+    n = len(values)
+    for i in range(n_boot):
+        means[i] = values[rng.integers(0, n, size=n)].mean()
+    alpha = 0.5 * (1.0 - confidence)
+    lo, hi = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(values.mean()), float(lo), float(hi)

@@ -1,0 +1,84 @@
+"""Terminal-friendly plots: histograms and log-x scatter as ASCII art.
+
+The repository is plotting-library-free by design (offline target
+environments); these helpers render the two figure shapes the
+experiments care about — hop-count histograms and hops-vs-log2(N)
+series — directly into strings, used by examples and handy in a REPL.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_histogram", "ascii_series"]
+
+_BAR = "#"
+
+
+def ascii_histogram(
+    values,
+    n_bins: int = 12,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a histogram of ``values`` as fixed-width ASCII bars.
+
+    Args:
+        values: numeric sample (non-empty).
+        n_bins: number of equal-width bins.
+        width: maximum bar width in characters.
+        title: optional heading line.
+
+    Raises:
+        ValueError: on an empty sample or non-positive sizes.
+    """
+    values = np.asarray(list(values), dtype=float)
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    if n_bins < 1 or width < 1:
+        raise ValueError("n_bins and width must be >= 1")
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        hi = lo + 1.0
+    counts, edges = np.histogram(values, bins=n_bins, range=(lo, hi))
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = _BAR * max(1 if count else 0, round(width * count / peak))
+        lines.append(f"[{left:8.3f},{right:8.3f}) {count:6d} {bar}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs,
+    ys,
+    width: int = 50,
+    label_x: str = "x",
+    label_y: str = "y",
+    log2_x: bool = True,
+    title: str = "",
+) -> str:
+    """Render a y-vs-x series as one ASCII bar per point.
+
+    The canonical use is hops vs ``log2(N)``: with ``log2_x`` the x label
+    shows the exponent, making linear-in-log growth visually obvious
+    (bars grow by a constant amount per row).
+
+    Raises:
+        ValueError: on empty or mismatched series.
+    """
+    xs = list(xs)
+    ys = [float(y) for y in ys]
+    if not xs or len(xs) != len(ys):
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    peak = max(max(ys), 1e-12)
+    lines = [title] if title else []
+    header = f"{label_x:>12s} | {label_y}"
+    lines.append(header)
+    for x, y in zip(xs, ys):
+        shown = f"2^{math.log2(x):.1f}" if log2_x and x > 0 else f"{x}"
+        bar = _BAR * max(1, round(width * y / peak))
+        lines.append(f"{shown:>12s} | {bar} {y:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Baseline overlays the paper compares against or references.
+
+Every system named in the paper's Sections 1–2 is implemented behind the
+:class:`BaselineOverlay` interface: Chord and Pastry (the canonical
+logarithmic-style DHTs of Section 3.1), P-Grid (skew-adaptive trie,
+extra state), Symphony (the constant-degree trade-off), Mercury (the
+sampling heuristic Theorem 2 formalises), CAN (no hop guarantee under
+arbitrary partitioning) and Watts–Strogatz (the non-navigable
+small-world baseline).
+"""
+
+from repro.baselines.base import BaselineOverlay, greedy_value_route, measure_overlay
+from repro.baselines.can import CANOverlay, Zone
+from repro.baselines.chord import ChordOverlay
+from repro.baselines.mercury import MercuryOverlay
+from repro.baselines.pastry import PastryOverlay
+from repro.baselines.pgrid import PGridOverlay
+from repro.baselines.symphony import SymphonyOverlay
+from repro.baselines.watts_strogatz import WattsStrogatzOverlay
+
+__all__ = [
+    "BaselineOverlay",
+    "measure_overlay",
+    "greedy_value_route",
+    "ChordOverlay",
+    "PastryOverlay",
+    "PGridOverlay",
+    "SymphonyOverlay",
+    "MercuryOverlay",
+    "CANOverlay",
+    "Zone",
+    "WattsStrogatzOverlay",
+]

@@ -1,0 +1,158 @@
+"""Common interface for baseline overlay networks.
+
+Every comparator the paper references (Chord, Pastry, P-Grid, Symphony,
+Mercury, CAN) is implemented behind :class:`BaselineOverlay`, so the
+experiment harness can measure hops, success and routing-state size with
+one code path.  Results reuse :class:`repro.core.RouteResult`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.routing import RouteResult
+from repro.overlay.stats import LookupStats, summarize_lookups
+
+__all__ = ["BaselineOverlay", "measure_overlay", "greedy_value_route"]
+
+
+def greedy_value_route(
+    ids: np.ndarray,
+    long_links: list[np.ndarray],
+    space,
+    source: int,
+    key: float,
+    owner: int,
+    max_hops: int | None = None,
+    unidirectional: bool = False,
+) -> RouteResult:
+    """Greedy value-space routing over ring neighbours plus long links.
+
+    The common routing rule shared by Symphony and Mercury: among the two
+    ring neighbours and the peer's long links, move to the peer that most
+    reduces the distance to ``key`` — circular distance by default, or
+    clockwise-only remaining distance when ``unidirectional``.
+
+    Args:
+        ids: sorted peer identifiers.
+        long_links: per-peer arrays of long-link target indices.
+        space: ring geometry providing ``distance``.
+        source: index of the originating peer.
+        key: lookup key.
+        owner: index of the peer that owns ``key`` (the stop condition).
+        max_hops: hop budget; defaults to the population size.
+        unidirectional: measure progress clockwise only.
+    """
+    n = len(ids)
+    if not 0 <= source < n:
+        raise ValueError(f"source index {source} out of range for {n} peers")
+    if max_hops is None:
+        max_hops = n
+
+    def metric(peer: int) -> float:
+        if unidirectional:
+            return (key - float(ids[peer])) % 1.0
+        return space.distance(float(ids[peer]), key)
+
+    current = source
+    current_dist = metric(current)
+    path = [current]
+    neighbor_hops = 0
+    long_hops = 0
+    while current != owner:
+        if len(path) - 1 >= max_hops:
+            return RouteResult(
+                False, len(path) - 1, neighbor_hops, long_hops, path,
+                "max_hops", key, owner,
+            )
+        best = None
+        best_dist = current_dist
+        best_is_long = False
+        for cand in ((current - 1) % n, (current + 1) % n):
+            dist = metric(cand)
+            if dist < best_dist:
+                best, best_dist, best_is_long = cand, dist, False
+        for cand in long_links[current]:
+            cand = int(cand)
+            dist = metric(cand)
+            if dist < best_dist:
+                best, best_dist, best_is_long = cand, dist, True
+        if best is None:
+            return RouteResult(
+                False, len(path) - 1, neighbor_hops, long_hops, path,
+                "stuck", key, owner,
+            )
+        current, current_dist = best, best_dist
+        path.append(current)
+        if best_is_long:
+            long_hops += 1
+        else:
+            neighbor_hops += 1
+    return RouteResult(
+        True, len(path) - 1, neighbor_hops, long_hops, path,
+        "arrived", key, owner,
+    )
+
+
+class BaselineOverlay(ABC):
+    """A static overlay snapshot with indexable peers and greedy lookup."""
+
+    #: Overlay family name used in experiment tables.
+    name: str = "baseline"
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of peers."""
+
+    @abstractmethod
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Route a lookup for ``key`` from peer index ``source``."""
+
+    @abstractmethod
+    def table_sizes(self) -> np.ndarray:
+        """Return the per-peer routing-state size (entries kept per peer)."""
+
+    def mean_table_size(self) -> float:
+        """Return the mean routing-state size across peers."""
+        sizes = self.table_sizes()
+        return float(np.mean(sizes)) if len(sizes) else 0.0
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def measure_overlay(
+    overlay: BaselineOverlay,
+    n_routes: int,
+    rng: np.random.Generator,
+    targets: str = "peers",
+    target_ids: np.ndarray | None = None,
+) -> LookupStats:
+    """Route ``n_routes`` random lookups over any baseline overlay.
+
+    Args:
+        overlay: the overlay under test.
+        n_routes: number of lookups.
+        rng: random source.
+        targets: ``"peers"`` draws keys from ``target_ids`` (or uniform
+            when none are supplied); ``"uniform"`` draws uniform keys.
+        target_ids: key population to draw from in ``"peers"`` mode —
+            pass the overlay's peer identifiers to look up actual peers.
+
+    Raises:
+        ValueError: for an unknown target mode.
+    """
+    if targets not in ("peers", "uniform"):
+        raise ValueError(f"unknown targets mode {targets!r}")
+    results = []
+    for _ in range(n_routes):
+        source = int(rng.integers(overlay.n))
+        if targets == "peers" and target_ids is not None and len(target_ids):
+            key = float(target_ids[int(rng.integers(len(target_ids)))])
+        else:
+            key = float(rng.random())
+        results.append(overlay.route(source, key))
+    return summarize_lookups(results)

@@ -1,0 +1,266 @@
+"""CAN (Ratnasamy et al., SIGCOMM 2001): d-dimensional zone routing.
+
+CAN partitions a ``d``-dimensional torus into zones, one per peer; a
+joining peer splits the zone containing its arrival point.  Peers keep
+links only to zones sharing a ``(d−1)``-dimensional face, and lookups
+walk greedily zone-to-zone — ``O(d · N^(1/d))`` hops, *polynomial* in
+``N``.
+
+The paper's Section 1 claim reproduced here: "Search efficiency in terms
+of the number of overlay hops can't be guaranteed in CAN for arbitrary
+partitioning of the key-space (zones)."  When arrival points track a
+skewed key distribution the zones adapt (good load balance) but the hop
+count has no logarithmic guarantee — experiment E6 shows CAN orders of
+magnitude above every small-world competitor.
+
+The 1-d key space embeds into the torus via bit de-interleaving
+(:func:`repro.keyspace.morton_spread`), which preserves locality so the
+zone partition genuinely adapts to key skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay
+from repro.core.routing import RouteResult
+from repro.keyspace import morton_spread
+
+__all__ = ["Zone", "CANOverlay"]
+
+
+@dataclass
+class Zone:
+    """An axis-aligned hyper-rectangular zone of the CAN torus.
+
+    Attributes:
+        lo: inclusive lower corner per dimension.
+        hi: exclusive upper corner per dimension.
+        depth: number of splits that produced this zone (drives the
+            round-robin split dimension).
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    depth: int = 0
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Return True when ``point`` lies inside the zone."""
+        return bool(np.all(point >= self.lo) and np.all(point < self.hi))
+
+    def center(self) -> np.ndarray:
+        """Return the zone's midpoint."""
+        return 0.5 * (self.lo + self.hi)
+
+    def volume(self) -> float:
+        """Return the zone's volume (its share of the key-space measure)."""
+        return float(np.prod(self.hi - self.lo))
+
+    def split(self) -> tuple["Zone", "Zone"]:
+        """Halve along the round-robin dimension; return (kept, new)."""
+        dim = self.depth % len(self.lo)
+        mid = 0.5 * (self.lo[dim] + self.hi[dim])
+        left_hi = self.hi.copy()
+        left_hi[dim] = mid
+        right_lo = self.lo.copy()
+        right_lo[dim] = mid
+        left = Zone(self.lo.copy(), left_hi, self.depth + 1)
+        right = Zone(right_lo, self.hi.copy(), self.depth + 1)
+        return left, right
+
+
+@dataclass
+class _BSPNode:
+    """Internal node of the zone binary-space-partition tree."""
+
+    zone_index: int = -1  # leaf: index into the zone list
+    split_dim: int = -1
+    split_at: float = 0.0
+    low: "._BSPNode | None" = None
+    high: "._BSPNode | None" = None
+    bounds_lo: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    bounds_hi: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class CANOverlay(BaselineOverlay):
+    """A built CAN overlay: one zone per peer.
+
+    Args:
+        keys: arrival points in the 1-d key space ``[0, 1)``, one per
+            peer; mapped into the torus with the locality-preserving
+            Morton spread so a skewed key population produces a skewed
+            zone partition.
+        dims: torus dimensionality ``d`` (1 or 2 cover the experiments;
+            any ``d >= 1`` with ``d * 16`` bits of precision works).
+
+    Raises:
+        ValueError: for an empty population or invalid ``dims``.
+    """
+
+    name = "can"
+
+    def __init__(self, keys, dims: int = 2):
+        keys = np.asarray(keys, dtype=float)
+        if len(keys) == 0:
+            raise ValueError("CAN needs at least one peer")
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self.dims = dims
+        self.keys = np.sort(keys)
+        self.zones: list[Zone] = []
+        self._root: _BSPNode | None = None
+        self._build()
+        self._compute_neighbors()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _point_of(self, key: float) -> np.ndarray:
+        if self.dims == 1:
+            return np.asarray([key])
+        return np.asarray(morton_spread(key, self.dims))
+
+    def _build(self) -> None:
+        first = Zone(np.zeros(self.dims), np.ones(self.dims), depth=0)
+        self.zones = [first]
+        self._root = _BSPNode(
+            zone_index=0, bounds_lo=first.lo.copy(), bounds_hi=first.hi.copy()
+        )
+        for key in self.keys[1:]:
+            point = self._point_of(float(key))
+            self._insert(point)
+
+    def _insert(self, point: np.ndarray) -> None:
+        """Split the zone containing ``point``; the new half joins the list."""
+        node = self._root
+        while node.zone_index < 0:
+            node = node.low if point[node.split_dim] < node.split_at else node.high
+        zone_idx = node.zone_index
+        zone = self.zones[zone_idx]
+        kept, new = zone.split()
+        dim = zone.depth % self.dims
+        self.zones[zone_idx] = kept
+        new_index = len(self.zones)
+        self.zones.append(new)
+        low_leaf = _BSPNode(
+            zone_index=zone_idx, bounds_lo=kept.lo.copy(), bounds_hi=kept.hi.copy()
+        )
+        high_leaf = _BSPNode(
+            zone_index=new_index, bounds_lo=new.lo.copy(), bounds_hi=new.hi.copy()
+        )
+        node.zone_index = -1
+        node.split_dim = dim
+        node.split_at = float(kept.hi[dim])
+        node.low = low_leaf
+        node.high = high_leaf
+
+    def _compute_neighbors(self) -> None:
+        """Vectorised face-adjacency over all zone pairs (torus wrap included)."""
+        z = len(self.zones)
+        lo = np.asarray([zone.lo for zone in self.zones])  # (z, d)
+        hi = np.asarray([zone.hi for zone in self.zones])
+        neighbors: list[np.ndarray] = []
+        for i in range(z):
+            # Per-dimension: faces touch (directly or across the wrap)?
+            touch = (
+                np.isclose(hi[i][None, :], lo)
+                | np.isclose(hi, lo[i][None, :])
+                | (np.isclose(hi[i][None, :], 1.0) & np.isclose(lo, 0.0))
+                | (np.isclose(hi, 1.0) & np.isclose(lo[i][None, :], 0.0))
+            )
+            # Per-dimension: positive-measure overlap?
+            overlap = (lo[i][None, :] < hi) & (lo < hi[i][None, :])
+            # Adjacent: touching in exactly one dim, overlapping in the rest.
+            adjacent = np.zeros(z, dtype=bool)
+            for k in range(self.dims):
+                others = np.ones(z, dtype=bool)
+                for j in range(self.dims):
+                    if j != k:
+                        others &= overlap[:, j]
+                adjacent |= touch[:, k] & others
+            adjacent[i] = False
+            neighbors.append(np.flatnonzero(adjacent).astype(np.int64))
+        self.neighbors = neighbors
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.zones)
+
+    def zone_of_point(self, point: np.ndarray) -> int:
+        """Return the index of the zone containing a torus point."""
+        node = self._root
+        while node.zone_index < 0:
+            node = node.low if point[node.split_dim] < node.split_at else node.high
+        return node.zone_index
+
+    def owner_of(self, key: float) -> int:
+        """Return the peer (zone) responsible for a 1-d key."""
+        return self.zone_of_point(self._point_of(key))
+
+    @staticmethod
+    def _axis_distance(x: float, lo: float, hi: float) -> float:
+        """Torus distance from coordinate ``x`` to the interval [lo, hi)."""
+        if lo <= x < hi:
+            return 0.0
+        direct = min(abs(x - lo), abs(x - hi))
+        wrapped = min(
+            abs(x - lo + 1.0), abs(x - lo - 1.0), abs(x - hi + 1.0), abs(x - hi - 1.0)
+        )
+        return min(direct, wrapped)
+
+    def _zone_distance(self, point: np.ndarray, zone: Zone) -> float:
+        return float(
+            sum(
+                self._axis_distance(float(point[k]), float(zone.lo[k]), float(zone.hi[k]))
+                for k in range(self.dims)
+            )
+        )
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Greedy zone-to-zone walk toward the key's torus point."""
+        n = self.n
+        if not 0 <= source < n:
+            raise ValueError(f"source index {source} out of range for {n} zones")
+        if max_hops is None:
+            max_hops = n
+        point = self._point_of(key)
+        owner = self.zone_of_point(point)
+        current = source
+        current_dist = self._zone_distance(point, self.zones[current])
+        path = [current]
+        while current != owner:
+            if len(path) - 1 >= max_hops:
+                return RouteResult(
+                    False, len(path) - 1, len(path) - 1, 0, path,
+                    "max_hops", key, owner,
+                )
+            best = None
+            best_dist = current_dist
+            for cand in self.neighbors[current]:
+                cand = int(cand)
+                dist = self._zone_distance(point, self.zones[cand])
+                if dist < best_dist:
+                    best, best_dist = cand, dist
+            if best is None:
+                return RouteResult(
+                    False, len(path) - 1, len(path) - 1, 0, path,
+                    "stuck", key, owner,
+                )
+            current, current_dist = best, best_dist
+            path.append(current)
+        return RouteResult(
+            True, len(path) - 1, len(path) - 1, 0, path, "arrived", key, owner
+        )
+
+    def table_sizes(self) -> np.ndarray:
+        """Per-peer neighbour counts (CAN's entire routing state)."""
+        return np.asarray([len(nb) for nb in self.neighbors], dtype=np.int64)
+
+    def zone_volumes(self) -> np.ndarray:
+        """Per-zone volumes — the load-balance signal of the partition."""
+        return np.asarray([zone.volume() for zone in self.zones])

@@ -1,0 +1,132 @@
+"""Chord (Stoica et al., SIGCOMM 2001) on the unit ring.
+
+Each peer keeps ``m = ⌈log2 N⌉`` *fingers* — the successor of
+``id + 2^(−j)`` for ``j = 1..m`` — plus its immediate successor and
+predecessor.  Lookup forwards to the closest *preceding* finger of the
+key, halving the remaining clockwise distance per hop when identifiers
+are uniform.
+
+Section 3.1 of the paper treats Chord as the canonical logarithmic-style
+overlay whose routing entries point at *every* doubling partition; the
+reproduction runs it in two regimes:
+
+* ``hashed=True`` — identifiers and keys pass through the uniformising
+  hash (classic DHT deployment; skew is destroyed, and so is key order);
+* ``hashed=False`` — raw identifiers (order-preserving).  Under skew the
+  finger spans no longer halve the *rank* distance, and hop counts
+  degrade — one of the effects experiment E6 quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay
+from repro.core.routing import RouteResult
+from repro.keyspace import mix_hash, successor_index
+
+__all__ = ["ChordOverlay"]
+
+
+class ChordOverlay(BaselineOverlay):
+    """A built Chord ring.
+
+    Args:
+        ids: peer identifiers (raw; hashed internally when requested).
+        hashed: route in hashed id space (classic deployment) instead of
+            raw key space.
+
+    Raises:
+        ValueError: for fewer than 2 peers.
+    """
+
+    name = "chord"
+
+    def __init__(self, ids, hashed: bool = False):
+        ids = np.asarray(ids, dtype=float)
+        if len(ids) < 2:
+            raise ValueError("Chord needs at least 2 peers")
+        self.hashed = hashed
+        if hashed:
+            ids = np.asarray([mix_hash(x) for x in ids])
+        self.ids = np.sort(ids)
+        self.m = max(1, math.ceil(math.log2(len(self.ids))))
+        self._build_fingers()
+
+    def _build_fingers(self) -> None:
+        n = len(self.ids)
+        offsets = 2.0 ** (-np.arange(1, self.m + 1))  # 1/2, 1/4, ..., 2^-m
+        fingers = np.empty((n, self.m), dtype=np.int64)
+        for u in range(n):
+            points = (self.ids[u] + offsets) % 1.0
+            for j, point in enumerate(points):
+                fingers[u, j] = successor_index(self.ids, float(point))
+        self.fingers = fingers
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def _key(self, key: float) -> float:
+        return mix_hash(key) if self.hashed else key
+
+    def owner_of(self, key: float) -> int:
+        """Return the index of ``successor(key)`` — Chord's owner rule."""
+        return successor_index(self.ids, self._key(key))
+
+    @staticmethod
+    def _cw(a: float, b: float) -> float:
+        return (b - a) % 1.0
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Clockwise greedy lookup via closest-preceding fingers."""
+        n = self.n
+        if not 0 <= source < n:
+            raise ValueError(f"source index {source} out of range for {n} peers")
+        if max_hops is None:
+            max_hops = n
+        key = self._key(key)
+        owner = successor_index(self.ids, key)
+        current = source
+        path = [current]
+        while current != owner:
+            if len(path) - 1 >= max_hops:
+                return RouteResult(
+                    False, len(path) - 1, 0, len(path) - 1, path,
+                    "max_hops", key, owner,
+                )
+            remaining = self._cw(float(self.ids[current]), key)
+            successor = (current + 1) % n
+            # If the key lies between us and our successor, the successor owns it.
+            if self._cw(float(self.ids[current]), float(self.ids[successor])) >= remaining:
+                current = successor
+                path.append(current)
+                continue
+            best = successor
+            best_advance = self._cw(float(self.ids[current]), float(self.ids[successor]))
+            for cand in self.fingers[current]:
+                cand = int(cand)
+                if cand == current:
+                    continue
+                advance = self._cw(float(self.ids[current]), float(self.ids[cand]))
+                if best_advance < advance <= remaining:
+                    best = cand
+                    best_advance = advance
+            current = best
+            path.append(current)
+        return RouteResult(
+            True, len(path) - 1, 0, len(path) - 1, path, "arrived", key, owner
+        )
+
+    def table_sizes(self) -> np.ndarray:
+        """Distinct finger targets plus successor and predecessor."""
+        sizes = np.empty(self.n, dtype=np.int64)
+        for u in range(self.n):
+            entries = set(int(f) for f in self.fingers[u])
+            entries.add((u + 1) % self.n)
+            entries.add((u - 1) % self.n)
+            entries.discard(u)
+            sizes[u] = len(entries)
+        return sizes

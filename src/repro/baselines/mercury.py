@@ -1,0 +1,120 @@
+"""Mercury (Bharambe, Agrawal & Seshan, SIGCOMM 2004): sampled rank-harmonic links.
+
+Mercury supports range queries over *skewed* attribute spaces without
+hashing: every peer estimates the node-count histogram by sampling, then
+draws its long links harmonically **in estimated rank space** and maps
+them back to attribute values.  The paper positions its Theorem 2 model
+as the formalisation of exactly this heuristic: "We provide a formalized
+theoretical framework that covers the whole class of routing efficient
+Small-World networks for skewed key-spaces, including Mercury's
+heuristics."
+
+Concretely, each peer here:
+
+1. samples ``sample_size`` live identifiers (Mercury does this with
+   random walks; the simulator substitutes unbiased id sampling — see
+   DESIGN.md, "Simulation substitutions");
+2. fits an empirical CDF ``F̂``;
+3. draws ``k`` rank offsets ``x ~ 1/(x ln N)`` on ``[1/N, 1]`` and links
+   to the manager of value ``F̂⁻¹((F̂(id) + x) mod 1)``.
+
+With ``sample_size → ∞`` this converges to the paper's skewed model
+built with the true CDF (experiment E12 sweeps the budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay, greedy_value_route
+from repro.core.routing import RouteResult
+from repro.core.theory import default_out_degree
+from repro.distributions import Empirical
+from repro.estimation import uniform_id_sample
+from repro.keyspace import RingSpace, nearest_index, successor_index
+
+__all__ = ["MercuryOverlay"]
+
+
+class MercuryOverlay(BaselineOverlay):
+    """A built Mercury ring over a (possibly skewed) value space.
+
+    Args:
+        ids: peer identifiers — raw attribute values, *not* hashed.
+        rng: random source.
+        k: long links per peer; ``None`` uses ``log2 N`` (Mercury's
+            recommended budget for log-hop routing).
+        sample_size: identifiers each peer samples to build its local
+            CDF estimate.
+
+    Raises:
+        ValueError: for fewer than 3 peers or a non-positive sample size.
+    """
+
+    name = "mercury"
+
+    def __init__(
+        self,
+        ids,
+        rng: np.random.Generator,
+        k: int | None = None,
+        sample_size: int = 64,
+    ):
+        ids = np.sort(np.asarray(ids, dtype=float))
+        if len(ids) < 3:
+            raise ValueError("Mercury needs at least 3 peers")
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+        self.ids = ids
+        self.k = k if k is not None else default_out_degree(len(ids))
+        self.sample_size = sample_size
+        self.space = RingSpace()
+        self._build_links(rng)
+
+    def _build_links(self, rng: np.random.Generator) -> None:
+        n = self.n
+        links: list[np.ndarray] = []
+        for u in range(n):
+            # Each peer estimates the population CDF from its own sample —
+            # estimates differ across peers, as in the deployed system.
+            samples = uniform_id_sample(self.ids, self.sample_size, rng)
+            estimate = Empirical(samples)
+            own_rank = float(estimate.cdf(float(self.ids[u])))
+            chosen: set[int] = set()
+            attempts = 0
+            while len(chosen) < self.k and attempts < 8 * max(self.k, 1):
+                attempts += 1
+                rank_offset = float(n ** (rng.random() - 1.0))  # harmonic on [1/N, 1]
+                target_rank = (own_rank + rank_offset) % 1.0
+                value = float(estimate.ppf(target_rank))
+                target = successor_index(self.ids, value)
+                if target != u:
+                    chosen.add(target)
+            links.append(np.asarray(sorted(chosen), dtype=np.int64))
+        self.long_links = links
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def owner_of(self, key: float) -> int:
+        """Mercury manages values by the numerically closest peer."""
+        return nearest_index(self.ids, key, self.space)
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Greedy value-space routing (identical rule to Symphony's)."""
+        return greedy_value_route(
+            self.ids,
+            self.long_links,
+            self.space,
+            source,
+            key,
+            self.owner_of(key),
+            max_hops=max_hops,
+        )
+
+    def table_sizes(self) -> np.ndarray:
+        """Long links plus the two ring neighbours."""
+        return np.asarray(
+            [len(links) + 2 for links in self.long_links], dtype=np.int64
+        )

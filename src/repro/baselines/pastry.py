@@ -1,0 +1,210 @@
+"""Pastry (Rowstron & Druschel, Middleware 2001): prefix-digit routing.
+
+Identifiers are interpreted as base-``2^b`` digit strings.  Each peer
+keeps a *routing table* with one row per prefix length — row ``l``
+holding, for every digit ``d`` other than its own ``l``-th digit, some
+peer that shares its first ``l`` digits and continues with ``d`` — plus
+a *leaf set* of the numerically closest peers.  Lookup extends the
+shared prefix by at least one digit per hop (or falls back to a
+numerically closer leaf), giving ``O(log_{2^b} N)`` hops on uniform
+identifiers.
+
+On *skewed* raw identifiers the digit trie becomes deep and lopsided:
+tables grow rows and hop counts stretch — the degradation experiment E6
+measures against the paper's skew-adapted model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay
+from repro.core.routing import RouteResult
+from repro.keyspace import RingSpace, digits, mix_hash, nearest_index
+
+__all__ = ["PastryOverlay"]
+
+_MAX_TOTAL_BITS = 48
+
+
+class PastryOverlay(BaselineOverlay):
+    """A built Pastry overlay.
+
+    Args:
+        ids: peer identifiers (raw; hashed internally when requested).
+        rng: random source for routing-table entry selection (Pastry
+            fills each slot with an arbitrary qualifying peer).
+        bits_per_digit: ``b``; digits are base ``2^b`` (default 4 → 16).
+        leaf_size: total leaf-set size (half on each side).
+        hashed: operate in hashed id space (classic deployment).
+
+    Raises:
+        ValueError: for fewer than 2 peers or identifiers too densely
+            packed to distinguish within float precision.
+    """
+
+    name = "pastry"
+
+    def __init__(
+        self,
+        ids,
+        rng: np.random.Generator,
+        bits_per_digit: int = 4,
+        leaf_size: int = 8,
+        hashed: bool = False,
+    ):
+        ids = np.asarray(ids, dtype=float)
+        if len(ids) < 2:
+            raise ValueError("Pastry needs at least 2 peers")
+        if bits_per_digit < 1:
+            raise ValueError(f"bits_per_digit must be >= 1, got {bits_per_digit}")
+        if leaf_size < 2:
+            raise ValueError(f"leaf_size must be >= 2, got {leaf_size}")
+        self.hashed = hashed
+        if hashed:
+            ids = np.asarray([mix_hash(x) for x in ids])
+        self.ids = np.sort(ids)
+        self.base = 2**bits_per_digit
+        self.bits_per_digit = bits_per_digit
+        self.leaf_size = leaf_size
+        self.space = RingSpace()
+        self.depth = self._required_depth()
+        self._digits = [digits(float(x), self.base, self.depth) for x in self.ids]
+        self._build_tables(rng)
+
+    def _required_depth(self) -> int:
+        """Digits needed so all peers have distinct digit strings."""
+        gaps = np.diff(self.ids)
+        gaps = gaps[gaps > 0]
+        if len(gaps) == 0:
+            raise ValueError("all identifiers identical; cannot build digit strings")
+        min_gap = float(gaps.min())
+        depth = math.ceil(math.log(1.0 / min_gap, self.base)) + 1
+        max_depth = _MAX_TOTAL_BITS // self.bits_per_digit
+        if depth > max_depth:
+            raise ValueError(
+                f"identifiers too dense: need depth {depth} > {max_depth} digits"
+            )
+        return max(depth, 1)
+
+    def _build_tables(self, rng: np.random.Generator) -> None:
+        n = self.n
+        # Group peers by digit prefix for O(1) slot filling.
+        by_prefix: dict[tuple[int, ...], list[int]] = {}
+        for i, digs in enumerate(self._digits):
+            for l in range(self.depth + 1):
+                by_prefix.setdefault(digs[:l], []).append(i)
+        # Routing table: table[u][l][d] = peer index or -1.
+        self.table = np.full((n, self.depth, self.base), -1, dtype=np.int64)
+        self._row_filled = np.zeros(n, dtype=np.int64)
+        for u in range(n):
+            own = self._digits[u]
+            for l in range(self.depth):
+                row_used = False
+                for d in range(self.base):
+                    if d == own[l]:
+                        continue
+                    candidates = by_prefix.get(own[:l] + (d,))
+                    if not candidates:
+                        continue
+                    pick = candidates[int(rng.integers(len(candidates)))]
+                    self.table[u, l, d] = pick
+                    row_used = True
+                if row_used:
+                    self._row_filled[u] += 1
+        # Leaf sets: numerically closest peers on each side (ring order).
+        half = self.leaf_size // 2
+        leafs = []
+        for u in range(n):
+            around = [(u + off) % n for off in range(-half, half + 1) if off != 0]
+            leafs.append(np.unique(np.asarray(around, dtype=np.int64)))
+        self.leaf_sets = leafs
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def _key(self, key: float) -> float:
+        return mix_hash(key) if self.hashed else key
+
+    def owner_of(self, key: float) -> int:
+        """Pastry's owner: numerically closest peer (ring metric)."""
+        return nearest_index(self.ids, self._key(key), self.space)
+
+    def _cpl(self, u: int, key_digits: tuple[int, ...]) -> int:
+        own = self._digits[u]
+        l = 0
+        for a, b in zip(own, key_digits):
+            if a != b:
+                break
+            l += 1
+        return l
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Pastry lookup: prefix hop when possible, else closer leaf/entry."""
+        n = self.n
+        if not 0 <= source < n:
+            raise ValueError(f"source index {source} out of range for {n} peers")
+        if max_hops is None:
+            max_hops = n
+        key = self._key(key)
+        key_digits = digits(key, self.base, self.depth)
+        owner = nearest_index(self.ids, key, self.space)
+        current = source
+        path = [current]
+        while current != owner:
+            if len(path) - 1 >= max_hops:
+                return RouteResult(
+                    False, len(path) - 1, 0, len(path) - 1, path,
+                    "max_hops", key, owner,
+                )
+            nxt = self._next_hop(current, key, key_digits)
+            if nxt is None:
+                return RouteResult(
+                    False, len(path) - 1, 0, len(path) - 1, path,
+                    "stuck", key, owner,
+                )
+            current = nxt
+            path.append(current)
+        return RouteResult(
+            True, len(path) - 1, 0, len(path) - 1, path, "arrived", key, owner
+        )
+
+    def _next_hop(self, current: int, key: float, key_digits: tuple[int, ...]) -> int | None:
+        l = self._cpl(current, key_digits)
+        if l < self.depth:
+            entry = int(self.table[current, l, key_digits[l]])
+            if entry >= 0:
+                return entry
+        # Fallback: anyone known who is strictly better — longer shared
+        # prefix, or same prefix but numerically closer (Pastry's rule).
+        current_dist = self.space.distance(float(self.ids[current]), key)
+        best = None
+        best_rank = (l, -current_dist)
+        known = list(self.leaf_sets[current]) + [
+            int(x) for x in self.table[current].ravel() if x >= 0
+        ]
+        for cand in known:
+            cand_l = self._cpl(cand, key_digits)
+            cand_dist = self.space.distance(float(self.ids[cand]), key)
+            rank = (cand_l, -cand_dist)
+            if cand_dist < current_dist and rank > best_rank:
+                best = cand
+                best_rank = rank
+        return best
+
+    def table_sizes(self) -> np.ndarray:
+        """Filled routing-table slots plus the leaf set."""
+        filled = (self.table >= 0).sum(axis=(1, 2))
+        leaf = np.asarray([len(ls) for ls in self.leaf_sets])
+        return (filled + leaf).astype(np.int64)
+
+    def mean_rows(self) -> float:
+        """Mean number of non-empty routing-table rows per peer.
+
+        This is the "more than logarithmic routing state" signal for
+        skewed identifier populations.
+        """
+        return float(np.mean(self._row_filled))

@@ -1,0 +1,199 @@
+"""P-Grid (Aberer, CoopIS 2001): a randomised binary trie overlay.
+
+P-Grid partitions the key space by recursive halving until every leaf
+cell holds one peer; a peer's *path* is its leaf's bit string.  For each
+level ``l`` of its path the peer keeps references to random peers in the
+*complementary* subtree (prefix ``path[:l] + ~path[l]``).  Routing
+resolves one differing bit per hop.
+
+The construction adapts to arbitrary key skew — the partition simply
+goes deeper where peers are dense.  The paper's Section 1 observation is
+that this preserves *routing efficiency* (expected hops stay ``O(log N)``
+thanks to the randomised references [2]) but costs *more than
+logarithmic routing state* (path lengths grow beyond ``log2 N`` under
+skew).  Experiment E6 measures both effects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay
+from repro.core.routing import RouteResult
+from repro.keyspace import binary_digits
+
+__all__ = ["PGridOverlay"]
+
+_MAX_DEPTH = 50
+
+
+class PGridOverlay(BaselineOverlay):
+    """A built P-Grid trie overlay.
+
+    Args:
+        ids: distinct peer identifiers.
+        rng: random source for reference selection.
+        refs_per_level: references kept per trie level (default 1; more
+            buys robustness at linear state cost).
+
+    Raises:
+        ValueError: for fewer than 2 peers, duplicate identifiers, or a
+            population needing a trie deeper than float precision allows.
+    """
+
+    name = "pgrid"
+
+    def __init__(self, ids, rng: np.random.Generator, refs_per_level: int = 1):
+        ids = np.sort(np.asarray(ids, dtype=float))
+        if len(ids) < 2:
+            raise ValueError("P-Grid needs at least 2 peers")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError("P-Grid requires distinct identifiers")
+        if refs_per_level < 1:
+            raise ValueError(f"refs_per_level must be >= 1, got {refs_per_level}")
+        self.ids = ids
+        self.refs_per_level = refs_per_level
+        self.paths: list[tuple[int, ...]] = [()] * len(ids)
+        self.cells: list[tuple[float, float]] = [(0.0, 1.0)] * len(ids)
+        self._by_prefix: dict[tuple[int, ...], list[int]] = {}
+        self._split(np.arange(len(ids)), (), 0.0, 1.0, 0.0, 1.0)
+        self._build_refs(rng)
+        # Leaf cells partition [0, 1); sorted left edges locate owners fast.
+        order = np.argsort([c[0] for c in self.cells])
+        self._cell_order = order
+        self._cell_lefts = np.asarray([self.cells[i][0] for i in order])
+
+    # ------------------------------------------------------------------
+    # trie construction
+    # ------------------------------------------------------------------
+    def _split(
+        self,
+        members: np.ndarray,
+        prefix: tuple[int, ...],
+        cover_lo: float,
+        cover_hi: float,
+        cell_lo: float,
+        cell_hi: float,
+    ) -> None:
+        """Recursively halve the *prefix cell* until one peer remains.
+
+        Two intervals are tracked: the dyadic *prefix cell*
+        ``[cell_lo, cell_hi)`` addressed by the bit string (always split
+        at its midpoint, so bits keep their positional meaning), and the
+        *coverage* interval ``[cover_lo, cover_hi)`` of keys owned by
+        this subtree.  When one half of a split holds no peers, the other
+        half absorbs its coverage — empty key regions are owned by the
+        nearest populated subtree, so the leaf cells partition ``[0, 1)``.
+        """
+        self._by_prefix.setdefault(prefix, []).extend(int(i) for i in members)
+        if len(members) == 1:
+            idx = int(members[0])
+            self.paths[idx] = prefix
+            self.cells[idx] = (cover_lo, cover_hi)
+            return
+        if len(prefix) >= _MAX_DEPTH:
+            raise ValueError(
+                f"identifiers too dense: trie depth would exceed {_MAX_DEPTH}"
+            )
+        mid = 0.5 * (cell_lo + cell_hi)
+        left = members[self.ids[members] < mid]
+        right = members[self.ids[members] >= mid]
+        if len(left) == 0:
+            # The empty half still consumes a path bit (its complement
+            # level carries no references) and its coverage is absorbed.
+            self._split(right, prefix + (1,), cover_lo, cover_hi, mid, cell_hi)
+        elif len(right) == 0:
+            self._split(left, prefix + (0,), cover_lo, cover_hi, cell_lo, mid)
+        else:
+            self._split(left, prefix + (0,), cover_lo, mid, cell_lo, mid)
+            self._split(right, prefix + (1,), mid, cover_hi, mid, cell_hi)
+
+    def _build_refs(self, rng: np.random.Generator) -> None:
+        self.refs: list[list[np.ndarray]] = []
+        for i in range(self.n):
+            path = self.paths[i]
+            levels = []
+            for l in range(len(path)):
+                complement = path[:l] + (1 - path[l],)
+                candidates = self._by_prefix.get(complement, [])
+                if candidates:
+                    k = min(self.refs_per_level, len(candidates))
+                    picks = rng.choice(len(candidates), size=k, replace=False)
+                    levels.append(
+                        np.asarray(sorted(candidates[p] for p in picks), dtype=np.int64)
+                    )
+                else:
+                    levels.append(np.empty(0, dtype=np.int64))
+            self.refs.append(levels)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def owner_of(self, key: float) -> int:
+        """Return the peer whose leaf cell contains ``key``."""
+        if not 0.0 <= key < 1.0:
+            raise ValueError(f"key {key!r} outside [0, 1)")
+        pos = int(np.searchsorted(self._cell_lefts, key, side="right")) - 1
+        return int(self._cell_order[max(pos, 0)])
+
+    def path_lengths(self) -> np.ndarray:
+        """Return per-peer trie path lengths (the routing-state driver)."""
+        return np.asarray([len(p) for p in self.paths], dtype=np.int64)
+
+    def _cpl(self, path: tuple[int, ...], key_bits: tuple[int, ...]) -> int:
+        l = 0
+        for a, b in zip(path, key_bits):
+            if a != b:
+                break
+            l += 1
+        return l
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Resolve one differing bit per hop; value-order fallback on gaps."""
+        n = self.n
+        if not 0 <= source < n:
+            raise ValueError(f"source index {source} out of range for {n} peers")
+        if max_hops is None:
+            max_hops = n
+        owner = self.owner_of(key)
+        max_depth = max(len(p) for p in self.paths)
+        key_bits = binary_digits(key, max_depth)
+        current = source
+        path_taken = [current]
+        while current != owner:
+            if len(path_taken) - 1 >= max_hops:
+                return RouteResult(
+                    False, len(path_taken) - 1, 0, len(path_taken) - 1,
+                    path_taken, "max_hops", key, owner,
+                )
+            peer_path = self.paths[current]
+            l = self._cpl(peer_path, key_bits)
+            nxt = None
+            if l < len(peer_path) and len(self.refs[current][l]):
+                nxt = int(self.refs[current][l][0])
+            else:
+                # Gap in the trie (empty complement) or key inside our own
+                # prefix cell: step toward the owner in value order.
+                nxt = current + 1 if key > float(self.ids[current]) else current - 1
+                if not 0 <= nxt < n:
+                    return RouteResult(
+                        False, len(path_taken) - 1, 0, len(path_taken) - 1,
+                        path_taken, "stuck", key, owner,
+                    )
+            current = nxt
+            path_taken.append(current)
+        return RouteResult(
+            True, len(path_taken) - 1, 0, len(path_taken) - 1,
+            path_taken, "arrived", key, owner,
+        )
+
+    def table_sizes(self) -> np.ndarray:
+        """Total references per peer (plus the two value-order neighbours)."""
+        return np.asarray(
+            [sum(len(level) for level in levels) + 2 for levels in self.refs],
+            dtype=np.int64,
+        )

@@ -1,0 +1,113 @@
+"""Symphony (Manku, Bawa & Raghavan, USITS 2003): constant-degree harmonic ring.
+
+Each peer keeps its ring neighbours plus a *constant* number ``k`` of
+long links whose clockwise spans are drawn from the harmonic density
+``p(x) = 1/(x ln N)`` on ``[1/N, 1]``.  Greedy routing then takes
+``O(log2^2(N) / k)`` hops — the explicit search-cost/state trade-off the
+paper's Section 3.1 points to ("an observation that was also made in
+Symphony").
+
+Symphony assumes (hashes to) uniform identifiers.  Run on raw skewed
+identifiers it inherits the naive model's degradation; the
+:class:`~repro.baselines.mercury.MercuryOverlay` sibling adds the
+sampling machinery that fixes this.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay, greedy_value_route
+from repro.core.routing import RouteResult
+from repro.keyspace import RingSpace, nearest_index, successor_index
+
+__all__ = ["SymphonyOverlay"]
+
+
+class SymphonyOverlay(BaselineOverlay):
+    """A built Symphony ring.
+
+    Args:
+        ids: peer identifiers (Symphony's own assumption is that these
+            are uniform; pass skewed ids to reproduce the failure mode).
+        rng: random source for link sampling.
+        k: constant number of long links per peer (Symphony's default 4).
+        bidirectional: route greedily in both directions (Symphony's
+            optimisation) instead of clockwise-only.
+
+    Raises:
+        ValueError: for fewer than 3 peers or non-positive ``k``.
+    """
+
+    name = "symphony"
+
+    def __init__(
+        self,
+        ids,
+        rng: np.random.Generator,
+        k: int = 4,
+        bidirectional: bool = True,
+    ):
+        ids = np.sort(np.asarray(ids, dtype=float))
+        if len(ids) < 3:
+            raise ValueError("Symphony needs at least 3 peers")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.ids = ids
+        self.k = k
+        self.bidirectional = bidirectional
+        self.space = RingSpace()
+        self._build_links(rng)
+
+    def _build_links(self, rng: np.random.Generator) -> None:
+        n = self.n
+        links: list[np.ndarray] = []
+        for u in range(n):
+            chosen: set[int] = set()
+            attempts = 0
+            while len(chosen) < self.k and attempts < 8 * max(self.k, 1):
+                attempts += 1
+                # Harmonic draw: x = N^(q-1) lands in [1/N, 1].
+                span = float(n ** (rng.random() - 1.0))
+                point = (float(self.ids[u]) + span) % 1.0
+                target = successor_index(self.ids, point)
+                if target != u:
+                    chosen.add(target)
+            links.append(np.asarray(sorted(chosen), dtype=np.int64))
+        self.long_links = links
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def owner_of(self, key: float) -> int:
+        """Symphony manages keys by the numerically closest peer."""
+        return nearest_index(self.ids, key, self.space)
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Greedy ring routing over neighbours and harmonic links."""
+        return greedy_value_route(
+            self.ids,
+            self.long_links,
+            self.space,
+            source,
+            key,
+            self.owner_of(key),
+            max_hops=max_hops,
+            unidirectional=not self.bidirectional,
+        )
+
+    def table_sizes(self) -> np.ndarray:
+        """Long links plus the two ring neighbours."""
+        return np.asarray(
+            [len(links) + 2 for links in self.long_links], dtype=np.int64
+        )
+
+    @staticmethod
+    def expected_hops(n: int, k: int) -> float:
+        """Symphony's published expectation ``O(log2^2(N)/k)`` (unit constant)."""
+        if n < 2 or k < 1:
+            raise ValueError("need n >= 2 and k >= 1")
+        return math.log2(n) ** 2 / k

@@ -1,0 +1,139 @@
+"""Watts–Strogatz rewired ring lattices (paper Section 2 background).
+
+The 1998 model that started the small-world literature: a ring lattice
+where each node links to its ``k`` nearest neighbours, with every edge
+rewired to a uniform random target with probability ``p``.  The graphs
+have low diameter for ``p > 0`` — but, as Kleinberg proved and the paper
+recounts, *greedy* routing on them is not efficient because the shortcuts
+carry no distance information.  The reproduction includes the model to
+measure exactly that contrast (uniform random shortcuts ≙ Kleinberg
+exponent ``r = 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineOverlay
+from repro.core.routing import RouteResult
+
+__all__ = ["WattsStrogatzOverlay"]
+
+
+class WattsStrogatzOverlay(BaselineOverlay):
+    """A rewired ring lattice with greedy index-distance routing.
+
+    Args:
+        n: number of nodes (>= 4).
+        k: each node links to ``k`` nearest neighbours (even, >= 2).
+        p: rewiring probability in ``[0, 1]``.
+        rng: random source.
+
+    Raises:
+        ValueError: for invalid ``n``, odd/negative ``k`` or ``p``
+            outside ``[0, 1]``.
+    """
+
+    name = "watts-strogatz"
+
+    def __init__(self, n: int, k: int, p: float, rng: np.random.Generator):
+        if n < 4:
+            raise ValueError(f"need n >= 4, got {n}")
+        if k < 2 or k % 2 != 0 or k >= n:
+            raise ValueError(f"k must be even, >= 2 and < n, got {k}")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        self._n = n
+        self.k = k
+        self.p = p
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        for u in range(n):
+            for off in range(1, k // 2 + 1):
+                v = (u + off) % n
+                if rng.random() < p:
+                    v = int(rng.integers(n))
+                    attempts = 0
+                    while (v == u or v in adjacency[u]) and attempts < 16:
+                        v = int(rng.integers(n))
+                        attempts += 1
+                    if v == u or v in adjacency[u]:
+                        v = (u + off) % n  # give up rewiring this edge
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+        self.adjacency = [
+            np.asarray(sorted(neigh), dtype=np.int64) for neigh in adjacency
+        ]
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def ring_distance(self, a: int, b: int) -> int:
+        """Return the lattice (index) distance between two nodes."""
+        gap = abs(a - b) % self._n
+        return min(gap, self._n - gap)
+
+    def owner_of(self, key: float) -> int:
+        """Map a unit-interval key onto the lattice node it indexes."""
+        if not 0.0 <= key < 1.0:
+            raise ValueError(f"key {key!r} outside [0, 1)")
+        return int(key * self._n) % self._n
+
+    def route(self, source: int, key: float, max_hops: int | None = None) -> RouteResult:
+        """Greedy routing by ring-index distance (no distance-aware links)."""
+        n = self._n
+        if not 0 <= source < n:
+            raise ValueError(f"source index {source} out of range for {n} nodes")
+        if max_hops is None:
+            max_hops = n
+        owner = self.owner_of(key)
+        current = source
+        current_dist = self.ring_distance(current, owner)
+        path = [current]
+        while current != owner:
+            if len(path) - 1 >= max_hops:
+                return RouteResult(
+                    False, len(path) - 1, len(path) - 1, 0, path,
+                    "max_hops", key, owner,
+                )
+            best = None
+            best_dist = current_dist
+            for cand in self.adjacency[current]:
+                cand = int(cand)
+                dist = self.ring_distance(cand, owner)
+                if dist < best_dist:
+                    best, best_dist = cand, dist
+            if best is None:
+                return RouteResult(
+                    False, len(path) - 1, len(path) - 1, 0, path,
+                    "stuck", key, owner,
+                )
+            current, current_dist = best, best_dist
+            path.append(current)
+        return RouteResult(
+            True, len(path) - 1, len(path) - 1, 0, path, "arrived", key, owner
+        )
+
+    def table_sizes(self) -> np.ndarray:
+        """Per-node degree."""
+        return np.asarray([len(a) for a in self.adjacency], dtype=np.int64)
+
+    def clustering_coefficient(self) -> float:
+        """Mean local clustering coefficient (the Watts–Strogatz signature)."""
+        total = 0.0
+        counted = 0
+        for u in range(self._n):
+            neigh = self.adjacency[u]
+            d = len(neigh)
+            if d < 2:
+                continue
+            neigh_set = set(int(x) for x in neigh)
+            closed = sum(
+                1
+                for i, a in enumerate(neigh)
+                for b in neigh[i + 1 :]
+                if int(b) in set(int(x) for x in self.adjacency[int(a)])
+            )
+            total += 2.0 * closed / (d * (d - 1))
+            counted += 1
+        return total / counted if counted else 0.0

@@ -1,0 +1,75 @@
+"""The paper's core contribution: small-world models, routing and bounds.
+
+Public surface:
+
+* model builders — :func:`build_uniform_model` (Section 3),
+  :func:`build_skewed_model` (Section 4, eq. (7)),
+  :func:`build_naive_model` (the mis-specified baseline);
+* :func:`greedy_route` / :func:`lookahead_route` and bulk
+  :func:`sample_routes`;
+* partition analysis of the Theorem 1 proof internals;
+* the analytic constants of the proofs (:mod:`repro.core.theory`);
+* classic Kleinberg lattices for the Section 2 background experiments.
+"""
+
+from repro.core.builder import (
+    GraphConfig,
+    build_from_positions,
+    build_naive_model,
+    build_skewed_model,
+    build_uniform_model,
+)
+from repro.core.graph import SmallWorldGraph
+from repro.core.kleinberg import (
+    KleinbergRing,
+    KleinbergTorus,
+    build_kleinberg_ring,
+    build_kleinberg_torus,
+)
+from repro.core.links import ExactSampler, FastSampler, LinkSampler, make_sampler
+from repro.core.partitions import (
+    AdvanceStats,
+    advance_stats,
+    partition_index,
+    trace_partitions,
+)
+from repro.core.routing import RouteResult, greedy_route, lookahead_route, sample_routes
+from repro.core.theory import (
+    advance_probability_bound,
+    default_out_degree,
+    expected_hops_bound,
+    harmonic_normalizer_bound,
+    n_partitions,
+    partition_hops_bound,
+)
+
+__all__ = [
+    "GraphConfig",
+    "SmallWorldGraph",
+    "build_uniform_model",
+    "build_skewed_model",
+    "build_naive_model",
+    "build_from_positions",
+    "LinkSampler",
+    "ExactSampler",
+    "FastSampler",
+    "make_sampler",
+    "RouteResult",
+    "greedy_route",
+    "lookahead_route",
+    "sample_routes",
+    "partition_index",
+    "trace_partitions",
+    "AdvanceStats",
+    "advance_stats",
+    "advance_probability_bound",
+    "partition_hops_bound",
+    "expected_hops_bound",
+    "harmonic_normalizer_bound",
+    "default_out_degree",
+    "n_partitions",
+    "KleinbergRing",
+    "KleinbergTorus",
+    "build_kleinberg_ring",
+    "build_kleinberg_torus",
+]

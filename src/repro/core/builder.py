@@ -1,0 +1,251 @@
+"""Constructors for the paper's overlay models.
+
+Three builders share one code path (:func:`build_from_positions`):
+
+* :func:`build_uniform_model` — Section 3's *Model for uniform key
+  distribution*: i.i.d. uniform identifiers, ``log2 N`` long links chosen
+  ``∝ 1/d(u, v)`` with the ``d ≥ 1/N`` cutoff.
+* :func:`build_skewed_model` — Section 4's *Model for skewed key
+  distribution*: identifiers drawn from an arbitrary density ``f``, long
+  links chosen ``∝ 1/|∫_u^v f|`` (eq. (7)), implemented by running the
+  uniform machinery in the normalised space ``F(R)`` exactly as Figure 1
+  prescribes.
+* :func:`build_naive_model` — the mis-specified baseline: skewed
+  identifiers but the *uniform* criterion applied to raw distances.  The
+  paper's point is that this graph loses routing efficiency as skew
+  grows; experiment E6 measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.graph import SmallWorldGraph
+from repro.core.links import make_sampler
+from repro.core.theory import default_out_degree
+from repro.distributions import Distribution
+from repro.keyspace import IntervalSpace, KeySpace
+
+__all__ = [
+    "GraphConfig",
+    "build_uniform_model",
+    "build_skewed_model",
+    "build_naive_model",
+    "build_from_positions",
+]
+
+
+@dataclass(frozen=True)
+class GraphConfig:
+    """Tunable knobs of the graph construction.
+
+    Attributes:
+        out_degree: number of long-range links per peer; ``None`` means
+            the paper's ``log2 N``.
+        cutoff_mass: minimum normalised distance for long links; ``None``
+            means the paper's ``1/N``.  Set to ``0.0`` to study the
+            degenerate no-cutoff variant.
+        space: interval (paper default) or ring topology.
+        sampler: ``"fast"`` (inverse-CDF, the Section 4.2 construction)
+            or ``"exact"`` (full weight vector, ground truth).
+        dedupe: whether long-link sets are kept duplicate-free.
+        max_retries: fast-sampler retry budget per link.
+        bidirectional: additionally install every long link in the
+            reverse direction (an engineering variant several deployed
+            DHTs use; off by default to match the directed model).
+    """
+
+    out_degree: int | None = None
+    cutoff_mass: float | None = None
+    space: KeySpace = field(default_factory=IntervalSpace)
+    sampler: str = "fast"
+    dedupe: bool = True
+    max_retries: int = 64
+    bidirectional: bool = False
+
+    def resolve_out_degree(self, n: int) -> int:
+        """Return the concrete long-link budget for an ``n``-peer graph."""
+        if self.out_degree is not None:
+            if self.out_degree < 0:
+                raise ValueError(f"out_degree must be >= 0, got {self.out_degree}")
+            return self.out_degree
+        return default_out_degree(n)
+
+    def resolve_cutoff(self, n: int) -> float:
+        """Return the concrete normalised-distance cutoff (paper: ``1/N``)."""
+        if self.cutoff_mass is not None:
+            if self.cutoff_mass < 0:
+                raise ValueError(f"cutoff_mass must be >= 0, got {self.cutoff_mass}")
+            return self.cutoff_mass
+        return 1.0 / n
+
+    def with_(self, **changes) -> "GraphConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def build_from_positions(
+    ids: np.ndarray,
+    normalized_ids: np.ndarray,
+    rng: np.random.Generator,
+    config: GraphConfig | None = None,
+    normalize=float,
+    model: str = "custom",
+) -> SmallWorldGraph:
+    """Build a small-world graph over explicitly given peer positions.
+
+    This is the shared engine: both models differ only in what
+    ``normalized_ids`` contains (see module docstring).
+
+    Args:
+        ids: peer identifiers (any order; sorted internally).
+        normalized_ids: the same peers' positions in normalised space;
+            must be co-monotone with ``ids``.
+        rng: random source for link sampling.
+        config: construction knobs; defaults to :class:`GraphConfig()`.
+        normalize: callable mapping a raw key to normalised space (used
+            later by normalised-metric routing).
+        model: label stored on the graph for reports.
+
+    Raises:
+        ValueError: on empty input or mismatched lengths.
+    """
+    config = config or GraphConfig()
+    ids = np.asarray(ids, dtype=float)
+    normalized_ids = np.asarray(normalized_ids, dtype=float)
+    if ids.ndim != 1 or len(ids) == 0:
+        raise ValueError("ids must be a non-empty 1-d array")
+    if ids.shape != normalized_ids.shape:
+        raise ValueError("ids and normalized_ids must have the same shape")
+    order = np.argsort(ids, kind="stable")
+    ids = ids[order]
+    normalized_ids = normalized_ids[order]
+    n = len(ids)
+    k = config.resolve_out_degree(n)
+    cutoff = config.resolve_cutoff(n)
+    sampler = make_sampler(config.sampler, dedupe=config.dedupe, max_retries=config.max_retries)
+    long_links = [
+        sampler.sample(normalized_ids, i, k, cutoff, config.space, rng) for i in range(n)
+    ]
+    if config.bidirectional:
+        long_links = _symmetrize(long_links, n)
+    return SmallWorldGraph(
+        ids=ids,
+        normalized_ids=normalized_ids,
+        long_links=long_links,
+        space=config.space,
+        normalize=normalize,
+        model=model,
+        cutoff_mass=cutoff,
+    )
+
+
+def _symmetrize(long_links: list[np.ndarray], n: int) -> list[np.ndarray]:
+    """Install the reverse of every long link (deduplicated)."""
+    extra: list[set[int]] = [set() for _ in range(n)]
+    for i, targets in enumerate(long_links):
+        for j in targets:
+            extra[int(j)].add(i)
+    merged = []
+    for i in range(n):
+        combined = set(int(j) for j in long_links[i]) | extra[i]
+        combined.discard(i)
+        merged.append(np.sort(np.fromiter(combined, dtype=np.int64, count=len(combined))))
+    return merged
+
+
+def build_uniform_model(
+    n: int | None = None,
+    rng: np.random.Generator | None = None,
+    config: GraphConfig | None = None,
+    ids: np.ndarray | None = None,
+) -> SmallWorldGraph:
+    """Build Section 3's uniform-distribution, logarithmic-outdegree graph.
+
+    Args:
+        n: number of peers (ignored when ``ids`` is given).
+        rng: random source (required).
+        config: construction knobs.
+        ids: reuse an existing peer population instead of sampling one.
+
+    Raises:
+        ValueError: when neither ``n`` nor ``ids`` is provided.
+    """
+    if rng is None:
+        raise ValueError("an explicit numpy Generator is required")
+    if ids is None:
+        if n is None or n < 1:
+            raise ValueError("provide n >= 1 or an explicit ids array")
+        ids = rng.random(n)
+    ids = np.sort(np.asarray(ids, dtype=float))
+    return build_from_positions(
+        ids, ids.copy(), rng, config, normalize=float, model="uniform"
+    )
+
+
+def build_skewed_model(
+    distribution: Distribution,
+    n: int | None = None,
+    rng: np.random.Generator | None = None,
+    config: GraphConfig | None = None,
+    ids: np.ndarray | None = None,
+) -> SmallWorldGraph:
+    """Build Section 4's skewed-distribution graph (eq. (7) criterion).
+
+    Peer identifiers are drawn from ``distribution`` (or supplied via
+    ``ids``); long links are chosen with probability inversely
+    proportional to the probability mass between the peers, realised by
+    running the uniform construction in CDF-normalised space.
+
+    Raises:
+        ValueError: when neither ``n`` nor ``ids`` is provided.
+    """
+    if rng is None:
+        raise ValueError("an explicit numpy Generator is required")
+    if ids is None:
+        if n is None or n < 1:
+            raise ValueError("provide n >= 1 or an explicit ids array")
+        ids = distribution.sample(n, rng)
+    ids = np.sort(np.asarray(ids, dtype=float))
+    normalized = np.asarray(distribution.cdf(ids), dtype=float)
+    graph = build_from_positions(
+        ids,
+        normalized,
+        rng,
+        config,
+        normalize=lambda key: float(distribution.cdf(key)),
+        model="skewed",
+    )
+    return graph
+
+
+def build_naive_model(
+    distribution: Distribution,
+    n: int | None = None,
+    rng: np.random.Generator | None = None,
+    config: GraphConfig | None = None,
+    ids: np.ndarray | None = None,
+) -> SmallWorldGraph:
+    """Build the mis-specified baseline: skewed peers, raw-distance criterion.
+
+    This is "Kleinberg without the fix": identifiers follow the skewed
+    density but long links are chosen ``∝ 1/|v - u|`` with the raw
+    ``1/N`` cutoff, i.e. the Model 1 rule applied where its uniformity
+    assumption is violated.  Used by experiment E6 to show why eq. (7)
+    is necessary.
+
+    Raises:
+        ValueError: when neither ``n`` nor ``ids`` is provided.
+    """
+    if rng is None:
+        raise ValueError("an explicit numpy Generator is required")
+    if ids is None:
+        if n is None or n < 1:
+            raise ValueError("provide n >= 1 or an explicit ids array")
+        ids = distribution.sample(n, rng)
+    ids = np.sort(np.asarray(ids, dtype=float))
+    return build_from_positions(
+        ids, ids.copy(), rng, config, normalize=float, model="naive"
+    )

@@ -1,0 +1,172 @@
+"""The small-world overlay graph data structure.
+
+A :class:`SmallWorldGraph` is the directed graph ``G = (P, E)`` of
+Section 3: peers sorted by identifier, the implicit *neighbouring edges*
+(each peer links to its immediate left/right peer; on a ring the ends
+wrap), and explicit per-peer *long-range edges*.
+
+The graph also carries the *normalised* identifiers ``F(id)`` of
+Theorem 2's space transformation, because every analytic statement in the
+paper (the ``1/N`` cutoff, the doubling partitions, the link-length
+distribution) lives in normalised space.  For the uniform model the
+normalised identifiers coincide with the raw ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.keyspace import IntervalSpace, KeySpace, nearest_index
+
+__all__ = ["SmallWorldGraph"]
+
+
+@dataclass
+class SmallWorldGraph:
+    """A built overlay: sorted peers, ring/interval edges, long-range edges.
+
+    Attributes:
+        ids: sorted peer identifiers in ``[0, 1)``.
+        normalized_ids: ``F(ids)`` under the model's distribution — equal
+            to ``ids`` for the uniform model and for the *naive* baseline
+            (which deliberately ignores the skew).
+        long_links: ``long_links[i]`` holds the indices of peer ``i``'s
+            long-range neighbours.
+        space: key-space geometry (interval or ring).
+        normalize: the CDF used to map raw keys into normalised space;
+            identity for the uniform/naive models.
+        model: short model name for reports ("uniform", "skewed", "naive").
+        cutoff_mass: the eq. (7) minimum normalised distance for long
+            links (``1/N`` by default).
+    """
+
+    ids: np.ndarray
+    normalized_ids: np.ndarray
+    long_links: list[np.ndarray]
+    space: KeySpace = field(default_factory=IntervalSpace)
+    normalize: Callable[[float], float] = float
+    model: str = "uniform"
+    cutoff_mass: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=float)
+        self.normalized_ids = np.asarray(self.normalized_ids, dtype=float)
+        if self.ids.ndim != 1:
+            raise ValueError("ids must be one-dimensional")
+        if len(self.ids) != len(self.normalized_ids):
+            raise ValueError("ids and normalized_ids must have equal length")
+        if len(self.long_links) != len(self.ids):
+            raise ValueError("long_links must have one entry per peer")
+        if np.any(np.diff(self.ids) < 0):
+            raise ValueError("ids must be sorted")
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of peers."""
+        return len(self.ids)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def neighbor_indices(self, idx: int) -> tuple[int, ...]:
+        """Return the ring/interval neighbour indices of peer ``idx``.
+
+        On the interval the two endpoint peers have a single neighbour;
+        on the ring everyone has exactly two (for ``n >= 3``).
+        """
+        n = self.n
+        if n <= 1:
+            return ()
+        if self.space.is_ring:
+            left = (idx - 1) % n
+            right = (idx + 1) % n
+            return (left, right) if left != right else (left,)
+        out = []
+        if idx > 0:
+            out.append(idx - 1)
+        if idx < n - 1:
+            out.append(idx + 1)
+        return tuple(out)
+
+    def out_links(self, idx: int) -> np.ndarray:
+        """Return all outgoing edges of peer ``idx`` (neighbours + long links)."""
+        return np.concatenate(
+            [np.asarray(self.neighbor_indices(idx), dtype=np.int64), self.long_links[idx]]
+        )
+
+    def out_degrees(self) -> np.ndarray:
+        """Return the per-peer total outdegree (neighbour + long links)."""
+        return np.array(
+            [len(self.neighbor_indices(i)) + len(self.long_links[i]) for i in range(self.n)]
+        )
+
+    # ------------------------------------------------------------------
+    # key handling
+    # ------------------------------------------------------------------
+    def owner_of(self, key: float) -> int:
+        """Return the index of the peer responsible for ``key``.
+
+        Ownership is "closest identifier" under the graph's key-space
+        metric, with ties resolved toward the lower identifier.
+        """
+        return nearest_index(self.ids, key, self.space)
+
+    def normalized_key(self, key: float) -> float:
+        """Return ``F(key)``: the key's position in normalised space."""
+        return float(self.normalize(key))
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def long_link_lengths(self, normalized: bool = True) -> np.ndarray:
+        """Return the lengths of all long-range links.
+
+        Args:
+            normalized: measure in normalised space (the space of the
+                proofs) rather than raw key space.
+        """
+        positions = self.normalized_ids if normalized else self.ids
+        lengths = []
+        for i in range(self.n):
+            src = float(positions[i])
+            for j in self.long_links[i]:
+                lengths.append(self.space.distance(src, float(positions[j])))
+        return np.asarray(lengths, dtype=float)
+
+    def total_long_links(self) -> int:
+        """Return the total number of long-range edges in the graph."""
+        return int(sum(len(links) for links in self.long_links))
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (requires networkx).
+
+        Node attributes carry the raw and normalised identifiers; edge
+        attribute ``kind`` distinguishes ``"neighbor"`` from ``"long"``
+        edges.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for i in range(self.n):
+            g.add_node(i, id=float(self.ids[i]), normalized=float(self.normalized_ids[i]))
+        for i in range(self.n):
+            for j in self.neighbor_indices(i):
+                g.add_edge(i, j, kind="neighbor")
+            for j in self.long_links[i]:
+                g.add_edge(i, int(j), kind="long")
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"SmallWorldGraph(model={self.model!r}, n={self.n}, "
+            f"space={self.space.name!r}, long_links={self.total_long_links()})"
+        )

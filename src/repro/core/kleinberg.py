@@ -1,0 +1,202 @@
+"""Classic Kleinberg lattice models (paper Section 2 background).
+
+Kleinberg's original construction places nodes on a regular ``k``-d
+lattice with unit-distance neighbour edges plus a constant number ``q``
+of long-range links, each drawn with probability ``∝ d(u, v)^(−r)``.
+Greedy routing is polylogarithmic *iff* the structural exponent ``r``
+equals the lattice dimension; experiment E11 reproduces the famous
+U-shaped hops-vs-``r`` curve for 1-d and 2-d tori.
+
+On a torus the long-link offset distribution is identical for every
+node, so one probability table over offsets drives all sampling —
+construction is ``O(n·q)`` after an ``O(n)`` setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KleinbergRing", "KleinbergTorus", "build_kleinberg_ring", "build_kleinberg_torus"]
+
+
+@dataclass
+class KleinbergRing:
+    """1-d Kleinberg lattice: ``n`` nodes on a cycle, ``q`` long links each.
+
+    Attributes:
+        n: number of lattice nodes.
+        r: structural exponent of the ``d^(−r)`` link distribution.
+        long_links: ``long_links[i]`` = target node ids of ``i``'s links.
+    """
+
+    n: int
+    r: float
+    long_links: list[np.ndarray]
+
+    def lattice_distance(self, a: int, b: int) -> int:
+        """Return the cycle distance between nodes ``a`` and ``b``."""
+        gap = abs(a - b) % self.n
+        return min(gap, self.n - gap)
+
+    def route(self, source: int, target: int, max_hops: int | None = None) -> int:
+        """Greedy-route from ``source`` to ``target``; return the hop count.
+
+        Returns ``-1`` if the hop budget is exhausted (cannot happen with
+        intact neighbour edges, but kept for failure-injection reuse).
+        """
+        if max_hops is None:
+            max_hops = self.n
+        current = source
+        hops = 0
+        while current != target:
+            if hops >= max_hops:
+                return -1
+            best = None
+            best_dist = self.lattice_distance(current, target)
+            for cand in ((current - 1) % self.n, (current + 1) % self.n, *self.long_links[current]):
+                cand = int(cand)
+                dist = self.lattice_distance(cand, target)
+                if dist < best_dist:
+                    best = cand
+                    best_dist = dist
+            current = best  # neighbour edges guarantee best is not None
+            hops += 1
+        return hops
+
+
+def build_kleinberg_ring(
+    n: int, r: float, q: int, rng: np.random.Generator
+) -> KleinbergRing:
+    """Build a 1-d Kleinberg cycle with ``q`` long links per node.
+
+    Args:
+        n: lattice size (>= 3).
+        r: structural exponent (>= 0); ``r = 1`` is the routable sweet spot.
+        q: long links per node (>= 0).
+        rng: random source.
+
+    Raises:
+        ValueError: for invalid sizes or exponents.
+    """
+    if n < 3:
+        raise ValueError(f"need n >= 3 lattice nodes, got {n}")
+    if r < 0:
+        raise ValueError(f"exponent r must be >= 0, got {r}")
+    if q < 0:
+        raise ValueError(f"q must be >= 0, got {q}")
+    offsets = np.arange(1, n)  # offset o means target = (u + o) mod n
+    torus_dist = np.minimum(offsets, n - offsets).astype(float)
+    weights = torus_dist ** (-r)
+    probs = weights / weights.sum()
+    links: list[np.ndarray] = []
+    if q == 0:
+        links = [np.empty(0, dtype=np.int64) for _ in range(n)]
+    else:
+        draws = rng.choice(len(offsets), size=(n, q), p=probs)
+        for u in range(n):
+            targets = (u + offsets[draws[u]]) % n
+            links.append(np.unique(targets.astype(np.int64)))
+    return KleinbergRing(n=n, r=r, long_links=links)
+
+
+@dataclass
+class KleinbergTorus:
+    """2-d Kleinberg lattice on an ``side × side`` torus.
+
+    Node ``(x, y)`` is stored as the flat index ``x * side + y``.
+    """
+
+    side: int
+    r: float
+    long_links: list[np.ndarray]
+
+    @property
+    def n(self) -> int:
+        """Total number of lattice nodes."""
+        return self.side * self.side
+
+    def lattice_distance(self, a: int, b: int) -> int:
+        """Return the Manhattan torus distance between flat indices."""
+        ax, ay = divmod(a, self.side)
+        bx, by = divmod(b, self.side)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.side - dx) + min(dy, self.side - dy)
+
+    def _lattice_neighbors(self, a: int) -> tuple[int, int, int, int]:
+        x, y = divmod(a, self.side)
+        side = self.side
+        return (
+            ((x - 1) % side) * side + y,
+            ((x + 1) % side) * side + y,
+            x * side + (y - 1) % side,
+            x * side + (y + 1) % side,
+        )
+
+    def route(self, source: int, target: int, max_hops: int | None = None) -> int:
+        """Greedy-route from ``source`` to ``target``; return the hop count."""
+        if max_hops is None:
+            max_hops = self.n
+        current = source
+        hops = 0
+        while current != target:
+            if hops >= max_hops:
+                return -1
+            best = None
+            best_dist = self.lattice_distance(current, target)
+            for cand in (*self._lattice_neighbors(current), *self.long_links[current]):
+                cand = int(cand)
+                dist = self.lattice_distance(cand, target)
+                if dist < best_dist:
+                    best = cand
+                    best_dist = dist
+            current = best
+            hops += 1
+        return hops
+
+
+def build_kleinberg_torus(
+    side: int, r: float, q: int, rng: np.random.Generator
+) -> KleinbergTorus:
+    """Build a 2-d Kleinberg torus with ``q`` long links per node.
+
+    Args:
+        side: torus side length (>= 3).
+        r: structural exponent (>= 0); ``r = 2`` is the routable sweet spot.
+        q: long links per node (>= 0).
+        rng: random source.
+
+    Raises:
+        ValueError: for invalid sizes or exponents.
+    """
+    if side < 3:
+        raise ValueError(f"need side >= 3, got {side}")
+    if r < 0:
+        raise ValueError(f"exponent r must be >= 0, got {r}")
+    if q < 0:
+        raise ValueError(f"q must be >= 0, got {q}")
+    n = side * side
+    # All non-zero offsets on the torus; the weight of an offset is the same
+    # from every node, so one table drives all draws.
+    dx, dy = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    dist = np.minimum(dx, side - dx) + np.minimum(dy, side - dy)
+    dist_flat = dist.ravel().astype(float)
+    mask = dist_flat > 0
+    offsets = np.flatnonzero(mask)
+    weights = dist_flat[mask] ** (-r)
+    probs = weights / weights.sum()
+    links: list[np.ndarray] = []
+    if q == 0:
+        links = [np.empty(0, dtype=np.int64) for _ in range(n)]
+    else:
+        draws = rng.choice(len(offsets), size=(n, q), p=probs)
+        offset_x, offset_y = np.divmod(offsets, side)
+        for u in range(n):
+            ux, uy = divmod(u, side)
+            sel = draws[u]
+            tx = (ux + offset_x[sel]) % side
+            ty = (uy + offset_y[sel]) % side
+            links.append(np.unique((tx * side + ty).astype(np.int64)))
+    return KleinbergTorus(side=side, r=r, long_links=links)

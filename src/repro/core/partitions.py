@@ -1,0 +1,126 @@
+"""Doubling-partition bookkeeping for the Theorem 1 proof internals.
+
+The proof views the key space from the target ``t`` as ``log2 N``
+partitions ``A_1 … A_{log2 N}``, where ``A_j`` contains the peers at
+normalised distance ``[2^(−m+j−1), 2^(−m+j))`` from ``t`` (``m = log2 N``)
+— each partition twice as wide as the one before.  Two quantities drive
+the bound:
+
+* ``Pnext`` (eq. (5)): the probability that a hop advances the message at
+  least one partition toward the target — at least
+  ``c = 1 − e^(−1/(3 ln 2))``;
+* ``E[X_j]`` (eq. (6)): the expected hops spent inside partition ``A_j``
+  before advancing — at most ``(1 − c)/c``.
+
+This module measures both from actual routed paths so experiment E2 can
+compare them against the analytic constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import SmallWorldGraph
+from repro.core.routing import RouteResult
+
+__all__ = ["partition_index", "trace_partitions", "AdvanceStats", "advance_stats"]
+
+
+def partition_index(distance: float, n: int) -> int:
+    """Return the doubling-partition index of a normalised distance.
+
+    Partition ``j ∈ {1, …, m}`` (``m = ⌈log2 n⌉``) covers distances in
+    ``[2^(j−1−m), 2^(j−m))``; index 0 means "inside the target's own
+    ``1/N`` cell" (distance below ``2^(−m)``).
+
+    Raises:
+        ValueError: for a negative distance or ``n < 2``.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    if n < 2:
+        raise ValueError(f"need at least 2 peers, got {n}")
+    m = max(1, math.ceil(math.log2(n)))
+    if distance <= 0.0:
+        return 0
+    j = math.floor(math.log2(distance)) + m + 1
+    return int(min(max(j, 0), m))
+
+
+def trace_partitions(graph: SmallWorldGraph, result: RouteResult) -> list[int]:
+    """Return the partition index at every node along a routed path.
+
+    Distances are measured in normalised space (where the proof lives),
+    from each visited peer to the target key's normalised position.
+    """
+    target_pos = graph.normalized_key(result.target_key)
+    return [
+        partition_index(
+            graph.space.distance(float(graph.normalized_ids[i]), target_pos), graph.n
+        )
+        for i in result.path
+    ]
+
+
+@dataclass
+class AdvanceStats:
+    """Aggregated proof-internal statistics over many routed paths.
+
+    Attributes:
+        p_advance: fraction of hops (taken from partitions ``j >= 1``)
+            that land in a strictly lower partition — the empirical
+            ``Pnext`` of eq. (5).
+        mean_hops_per_partition: mean length of a maximal run of hops
+            spent inside a single partition — the empirical ``E[X_j]``
+            of eq. (6).
+        per_partition_hops: mapping ``j -> mean run length`` within
+            partition ``j``.
+        n_hops: total hops analysed.
+    """
+
+    p_advance: float
+    mean_hops_per_partition: float
+    per_partition_hops: dict[int, float]
+    n_hops: int
+
+
+def advance_stats(graph: SmallWorldGraph, results: list[RouteResult]) -> AdvanceStats:
+    """Measure eq. (5)/(6) quantities from routed paths.
+
+    Hops that start inside the target's own cell (partition 0) are
+    excluded, matching the proof (the final approach over neighbour
+    edges is accounted separately there).
+    """
+    advances = 0
+    considered = 0
+    run_lengths: dict[int, list[int]] = {}
+    for result in results:
+        trace = trace_partitions(graph, result)
+        if len(trace) < 2:
+            continue
+        run_start = 0
+        for pos in range(len(trace) - 1):
+            before, after = trace[pos], trace[pos + 1]
+            if before >= 1:
+                considered += 1
+                if after < before:
+                    advances += 1
+            if after != before:
+                if trace[run_start] >= 1:
+                    run_lengths.setdefault(trace[run_start], []).append(pos + 1 - run_start)
+                run_start = pos + 1
+        if trace[run_start] >= 1 and run_start < len(trace) - 1:
+            run_lengths.setdefault(trace[run_start], []).append(len(trace) - 1 - run_start)
+    per_partition = {
+        j: float(np.mean(lengths)) for j, lengths in sorted(run_lengths.items())
+    }
+    all_runs = [length for lengths in run_lengths.values() for length in lengths]
+    return AdvanceStats(
+        p_advance=advances / considered if considered else float("nan"),
+        mean_hops_per_partition=float(np.mean(all_runs)) if all_runs else float("nan"),
+        per_partition_hops=per_partition,
+        n_hops=considered,
+    )

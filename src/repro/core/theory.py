@@ -1,0 +1,85 @@
+"""Analytic quantities from the paper's proofs.
+
+Theorem 1's proof derives three explicit constants that the experiment
+suite checks empirically:
+
+* eq. (2): the normaliser ``Σ_v 1/d(u,v)`` is upper-bounded by
+  ``2 N ln N``;
+* eq. (5): the probability that greedy routing advances at least one
+  doubling partition per hop is at least
+  ``c = 1 − e^(−1/(3 ln 2)) ≈ 0.3822``;
+* eq. (6): the expected number of hops spent inside one partition is at
+  most ``(1 − c)/c ≈ 1.616``;
+
+giving the headline bound *expected hops ≤ (1/c)·log2(N) + 1* (the paper
+notes this is a deliberately pessimistic upper bound).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "advance_probability_bound",
+    "partition_hops_bound",
+    "expected_hops_bound",
+    "harmonic_normalizer_bound",
+    "default_out_degree",
+    "n_partitions",
+]
+
+
+def advance_probability_bound() -> float:
+    """Return ``c = 1 − e^(−1/(3 ln 2))``, the eq. (5) advance probability.
+
+    With ``log2 N`` long links, each hop leaves its current doubling
+    partition toward the target with probability at least ``c``,
+    independent of ``N``.
+    """
+    return 1.0 - math.exp(-1.0 / (3.0 * math.log(2.0)))
+
+
+def partition_hops_bound() -> float:
+    """Return ``(1 − c)/c``, the eq. (6) bound on expected hops per partition."""
+    c = advance_probability_bound()
+    return (1.0 - c) / c
+
+
+def expected_hops_bound(n: int) -> float:
+    """Return the Theorem 1 bound ``(1/c)·log2(n) + 1`` on expected hops.
+
+    Raises:
+        ValueError: if ``n < 2``.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    return math.log2(n) / advance_probability_bound() + 1.0
+
+
+def harmonic_normalizer_bound(n: int) -> float:
+    """Return the eq. (2) upper bound ``2 N ln N`` on ``Σ_v 1/d(u, v)``.
+
+    Raises:
+        ValueError: if ``n < 2`` (the bound is vacuous below two nodes).
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    return 2.0 * n * math.log(n)
+
+
+def default_out_degree(n: int) -> int:
+    """Return the paper's long-link budget ``log2(N)``, rounded, at least 1.
+
+    Raises:
+        ValueError: if ``n < 1``.
+    """
+    if n < 1:
+        raise ValueError(f"need at least 1 node, got {n}")
+    return max(1, round(math.log2(n)))
+
+
+def n_partitions(n: int) -> int:
+    """Return the number of doubling partitions ``⌈log2(N)⌉`` of the key space."""
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    return max(1, math.ceil(math.log2(n)))

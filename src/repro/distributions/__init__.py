@@ -1,0 +1,40 @@
+"""Analytic key distributions on the unit interval.
+
+Every distribution exposes ``pdf``/``cdf``/``ppf``/``sample`` plus the
+paper's eq. (7) integral criterion as :meth:`Distribution.measure`; the
+CDF *is* the space-normalisation map of Theorem 2 (Figure 1), so these
+objects parameterise the skewed small-world model directly.
+"""
+
+from repro.distributions.base import Distribution
+from repro.distributions.beta import IntegerBeta
+from repro.distributions.empirical import Empirical
+from repro.distributions.exponential import TruncatedExponential
+from repro.distributions.families import (
+    SKEW_FAMILIES,
+    default_suite,
+    make_skewed,
+    skew_metric,
+)
+from repro.distributions.mixture import Mixture
+from repro.distributions.piecewise import PiecewiseConstant, zipf_distribution
+from repro.distributions.powerlaw import PowerLaw
+from repro.distributions.truncnormal import TruncatedNormal
+from repro.distributions.uniform import Uniform
+
+__all__ = [
+    "Distribution",
+    "Uniform",
+    "PowerLaw",
+    "TruncatedNormal",
+    "TruncatedExponential",
+    "IntegerBeta",
+    "PiecewiseConstant",
+    "zipf_distribution",
+    "Mixture",
+    "Empirical",
+    "SKEW_FAMILIES",
+    "make_skewed",
+    "skew_metric",
+    "default_suite",
+]

@@ -1,0 +1,137 @@
+"""Base class for key distributions on the unit interval.
+
+The skewed model of the paper (Section 4) is parameterised by a
+probability density function ``f`` over the key space ``[0, 1)``; every
+quantity the model needs reduces to three callables:
+
+* ``pdf(x)``   — the density ``f`` itself (eq. (7) weights),
+* ``cdf(x)``   — the cumulative ``F(x) = ∫_0^x f``, which is exactly the
+  space-normalisation map of Figure 1 (``u' = F(u)``),
+* ``ppf(q)``   — the inverse CDF, used both to sample peer identifiers
+  ("peers acquire identifiers according to f", Section 4.1) and to map
+  normalised-space link targets back into the skewed space.
+
+The integral criterion of eq. (7), ``|∫_u^v f(x) dx|``, is
+:meth:`Distribution.measure`.
+
+Implementations provide array-in/array-out ``_pdf``/``_cdf`` (and
+``_ppf`` when a closed form exists; a vectorised bisection fallback is
+supplied here).  The public methods accept scalars or arrays and mirror
+the input kind.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Distribution", "ArrayLike"]
+
+ArrayLike = "float | np.ndarray"
+
+#: Bisection iterations for the numeric PPF fallback: 2^-80 < 1e-24,
+#: far below float64 resolution on [0, 1].
+_PPF_BISECT_ITERS = 80
+
+
+def _dispatch(func, x) -> "float | np.ndarray":
+    """Call array-in/array-out ``func`` on ``x``, mirroring scalar inputs."""
+    arr = np.asarray(x, dtype=float)
+    out = func(np.atleast_1d(arr))
+    if arr.ndim == 0:
+        return float(out[0])
+    return out
+
+
+class Distribution(ABC):
+    """A probability distribution supported on the unit interval ``[0, 1)``.
+
+    Subclasses must implement :meth:`_pdf` and :meth:`_cdf`; a numeric
+    inverse-CDF is provided, overridable with a closed form.
+    """
+
+    #: Short family name used in experiment tables (e.g. ``"powerlaw"``).
+    name: str = "distribution"
+
+    # ------------------------------------------------------------------
+    # abstract array-level primitives
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _pdf(self, x: np.ndarray) -> np.ndarray:
+        """Density at points ``x``; callers guarantee ``x`` is a 1-d array."""
+
+    @abstractmethod
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        """Cumulative probability at points ``x`` already clipped to [0, 1]."""
+
+    def _ppf(self, q: np.ndarray) -> np.ndarray:
+        """Inverse CDF by vectorised bisection (subclasses may override)."""
+        lo = np.zeros_like(q)
+        hi = np.ones_like(q)
+        for _ in range(_PPF_BISECT_ITERS):
+            mid = 0.5 * (lo + hi)
+            below = self._cdf(mid) < q
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def pdf(self, x) -> "float | np.ndarray":
+        """Return the density ``f(x)``; zero outside ``[0, 1)``."""
+
+        def impl(arr: np.ndarray) -> np.ndarray:
+            inside = (arr >= 0.0) & (arr < 1.0)
+            out = np.zeros_like(arr)
+            if np.any(inside):
+                out[inside] = self._pdf(arr[inside])
+            return out
+
+        return _dispatch(impl, x)
+
+    def cdf(self, x) -> "float | np.ndarray":
+        """Return ``F(x)``, extended with 0 below the support and 1 above."""
+
+        def impl(arr: np.ndarray) -> np.ndarray:
+            clipped = np.clip(arr, 0.0, 1.0)
+            return np.clip(self._cdf(clipped), 0.0, 1.0)
+
+        return _dispatch(impl, x)
+
+    def ppf(self, q) -> "float | np.ndarray":
+        """Return the quantile function ``F^{-1}(q)`` for ``q`` in ``[0, 1]``.
+
+        Raises:
+            ValueError: if any ``q`` lies outside ``[0, 1]``.
+        """
+
+        def impl(arr: np.ndarray) -> np.ndarray:
+            if np.any((arr < 0.0) | (arr > 1.0)):
+                raise ValueError("quantiles must lie in [0, 1]")
+            return np.clip(self._ppf(arr), 0.0, 1.0)
+
+        return _dispatch(impl, x=q)
+
+    def measure(self, a: float, b: float) -> float:
+        """Return ``|∫_a^b f(x) dx| = |F(b) - F(a)|`` (paper eq. (7))."""
+        return abs(float(self.cdf(b)) - float(self.cdf(a)))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` i.i.d. identifiers from the distribution.
+
+        The default is inverse-transform sampling; subclasses with faster
+        native samplers may override.
+        """
+        if n < 0:
+            raise ValueError(f"sample size must be >= 0, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=float)
+        draws = self._ppf(rng.random(n))
+        # Keep identifiers strictly inside [0, 1): the right endpoint is
+        # excluded from the key space.
+        return np.clip(draws, 0.0, np.nextafter(1.0, 0.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

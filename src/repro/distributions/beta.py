@@ -1,0 +1,63 @@
+"""Beta distribution with integer shape parameters on ``[0, 1)``.
+
+For positive-integer shapes ``(a, b)`` the incomplete beta integral is a
+plain polynomial (binomial expansion of ``(1-x)^(b-1)``), so the CDF is
+exact and cheap without special-function machinery.  Integer-shape betas
+already cover the shapes the experiments need: U-shaped, bell-shaped, and
+one-sided skew toward either endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["IntegerBeta"]
+
+
+class IntegerBeta(Distribution):
+    """Beta(a, b) with integer shapes: ``f(x) ∝ x^(a-1) (1-x)^(b-1)``.
+
+    Args:
+        a: left shape (positive integer); larger pushes mass rightward.
+        b: right shape (positive integer); larger pushes mass leftward.
+
+    Raises:
+        ValueError: for non-integer or non-positive shapes.
+    """
+
+    name = "beta"
+
+    def __init__(self, a: int = 2, b: int = 5):
+        if not (isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer))):
+            raise ValueError(f"shapes must be integers, got a={a!r}, b={b!r}")
+        if a < 1 or b < 1:
+            raise ValueError(f"shapes must be >= 1, got a={a}, b={b}")
+        self.a = int(a)
+        self.b = int(b)
+        # 1 / B(a, b) for integer shapes.
+        self._inv_beta = (
+            math.factorial(self.a + self.b - 1)
+            / (math.factorial(self.a - 1) * math.factorial(self.b - 1))
+        )
+        # CDF(x) = inv_beta * sum_k C(b-1, k) (-1)^k x^(a+k) / (a+k)
+        self._cdf_coeffs = np.array(
+            [
+                math.comb(self.b - 1, k) * (-1.0) ** k / (self.a + k)
+                for k in range(self.b)
+            ]
+        )
+        self._cdf_powers = np.arange(self.a, self.a + self.b)
+
+    def _pdf(self, x: np.ndarray) -> np.ndarray:
+        return self._inv_beta * x ** (self.a - 1) * (1.0 - x) ** (self.b - 1)
+
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        powers = x[:, None] ** self._cdf_powers[None, :]
+        return self._inv_beta * powers @ self._cdf_coeffs
+
+    def __repr__(self) -> str:
+        return f"IntegerBeta(a={self.a}, b={self.b})"

@@ -1,0 +1,71 @@
+"""Empirical distribution interpolated from observed samples.
+
+This is the bridge between the *formal* model (which assumes ``f`` is
+known) and the *practical* protocols of Section 4.2 (where peers only see
+samples of other peers' identifiers).  The empirical CDF is the linearly
+interpolated rank function of the sorted sample — exactly the estimator a
+peer can compute locally — and plugging it into the skewed-model
+machinery yields the "peer with estimated f" construction measured in
+experiment E10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["Empirical"]
+
+
+class Empirical(Distribution):
+    """Piecewise-linear CDF through the order statistics of a sample.
+
+    The CDF is anchored at ``(0, 0)`` and ``(1, 1)`` and passes through
+    ``(x_(i), i/(n+1))`` for the sorted sample points, making both the
+    CDF and the quantile function continuous and strictly increasing
+    (hence invertible) whenever the sample points are distinct.
+
+    Args:
+        samples: observed identifiers in ``[0, 1)``; at least one.
+
+    Raises:
+        ValueError: on an empty sample or out-of-range values.
+    """
+
+    name = "empirical"
+
+    def __init__(self, samples):
+        samples = np.asarray(samples, dtype=float).ravel()
+        if len(samples) == 0:
+            raise ValueError("empirical distribution needs at least one sample")
+        if np.any((samples < 0.0) | (samples >= 1.0)):
+            raise ValueError("samples must lie in [0, 1)")
+        sorted_samples = np.sort(samples)
+        n = len(sorted_samples)
+        # Deduplicate exactly-equal points to keep the CDF strictly increasing;
+        # their mass collapses onto one knot.
+        xs, first_idx = np.unique(sorted_samples, return_index=True)
+        ranks = (np.arange(1, n + 1) / (n + 1.0))[first_idx]
+        self._xs = np.concatenate([[0.0], xs, [1.0]])
+        self._qs = np.concatenate([[0.0], ranks, [1.0]])
+        # Guard against a sample point exactly at 0.0 creating a duplicate knot.
+        keep = np.concatenate([[True], np.diff(self._xs) > 0])
+        self._xs = self._xs[keep]
+        self._qs = self._qs[keep]
+        self.n_samples = n
+
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        return np.interp(x, self._xs, self._qs)
+
+    def _ppf(self, q: np.ndarray) -> np.ndarray:
+        return np.interp(q, self._qs, self._xs)
+
+    def _pdf(self, x: np.ndarray) -> np.ndarray:
+        idx = np.clip(np.searchsorted(self._xs, x, side="right") - 1, 0, len(self._xs) - 2)
+        rise = self._qs[idx + 1] - self._qs[idx]
+        run = self._xs[idx + 1] - self._xs[idx]
+        return rise / run
+
+    def __repr__(self) -> str:
+        return f"Empirical(n_samples={self.n_samples})"

@@ -1,0 +1,123 @@
+"""Piecewise-constant (histogram) distribution on ``[0, 1)``.
+
+The workhorse of the repository:
+
+* it represents *estimated* densities — Section 4.2's adaptive peers and
+  the Mercury baseline both learn ``f`` as a histogram of sampled ids;
+* it maps discrete Zipf workloads onto the interval
+  (:func:`zipf_distribution`);
+* its CDF and inverse are exact piecewise-linear functions, so it doubles
+  as a fast, fully analytic test distribution with arbitrary shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["PiecewiseConstant", "zipf_distribution"]
+
+
+class PiecewiseConstant(Distribution):
+    """Histogram density: constant on each cell of a partition of ``[0, 1]``.
+
+    Args:
+        edges: increasing array of cell boundaries; must start at 0.0 and
+            end at 1.0 and contain at least two entries.
+        weights: non-negative relative mass of each cell (one fewer entry
+            than ``edges``); normalised internally.  Zero-weight cells are
+            allowed (holes in the support).
+
+    Raises:
+        ValueError: for malformed edges or weights.
+    """
+
+    name = "piecewise"
+
+    def __init__(self, edges, weights):
+        edges = np.asarray(edges, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        if edges.ndim != 1 or len(edges) < 2:
+            raise ValueError("edges must be a 1-d array with >= 2 entries")
+        if len(weights) != len(edges) - 1:
+            raise ValueError(
+                f"expected {len(edges) - 1} weights for {len(edges)} edges, "
+                f"got {len(weights)}"
+            )
+        if edges[0] != 0.0 or edges[-1] != 1.0:
+            raise ValueError("edges must span exactly [0, 1]")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.edges = edges
+        self.masses = weights / total
+        self.widths = np.diff(edges)
+        self.densities = self.masses / self.widths
+        self._cum = np.concatenate([[0.0], np.cumsum(self.masses)])
+        self._cum[-1] = 1.0  # kill accumulated rounding
+
+    @property
+    def n_cells(self) -> int:
+        """Number of histogram cells."""
+        return len(self.masses)
+
+    def _cell_of(self, x: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self.edges, x, side="right") - 1
+        return np.clip(idx, 0, self.n_cells - 1)
+
+    def _pdf(self, x: np.ndarray) -> np.ndarray:
+        return self.densities[self._cell_of(x)]
+
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        cell = self._cell_of(x)
+        inside = (x - self.edges[cell]) * self.densities[cell]
+        # Pin the right endpoint to exactly 1.0 (cumsum rounding otherwise
+        # leaves it a few ulps short).
+        return np.where(x >= 1.0, 1.0, self._cum[cell] + inside)
+
+    def _ppf(self, q: np.ndarray) -> np.ndarray:
+        cell = np.searchsorted(self._cum, q, side="right") - 1
+        cell = np.clip(cell, 0, self.n_cells - 1)
+        # Skip zero-mass cells when q coincides with a flat stretch of the CDF.
+        while np.any(self.masses[cell] <= 0):
+            zero = self.masses[cell] <= 0
+            cell = np.where(zero & (cell < self.n_cells - 1), cell + 1, cell)
+            if np.all(self.masses[cell] > 0) or np.all(cell == self.n_cells - 1):
+                break
+        frac = np.where(
+            self.masses[cell] > 0,
+            (q - self._cum[cell]) / np.where(self.masses[cell] > 0, self.masses[cell], 1.0),
+            0.0,
+        )
+        return self.edges[cell] + np.clip(frac, 0.0, 1.0) * self.widths[cell]
+
+    def __repr__(self) -> str:
+        return f"PiecewiseConstant(n_cells={self.n_cells})"
+
+
+def zipf_distribution(n_items: int, exponent: float = 1.0) -> PiecewiseConstant:
+    """Return a Zipf(``exponent``) key distribution over ``n_items`` ordered items.
+
+    Item ``i`` (rank ``i+1``) occupies the key cell
+    ``[i/n_items, (i+1)/n_items)`` with mass proportional to
+    ``(i+1)^(-exponent)``.  Keeping items in rank order preserves the
+    semantic ordering the paper's motivating applications need while
+    concentrating mass at the low end of the key space.
+
+    Args:
+        n_items: number of distinct items (>= 1).
+        exponent: Zipf exponent; 0 gives the uniform distribution.
+    """
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    ranks = np.arange(1, n_items + 1, dtype=float)
+    weights = ranks ** (-float(exponent))
+    edges = np.linspace(0.0, 1.0, n_items + 1)
+    dist = PiecewiseConstant(edges, weights)
+    dist.name = f"zipf({exponent:g})"
+    return dist

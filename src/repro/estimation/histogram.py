@@ -1,0 +1,79 @@
+"""Fixed-bin histogram density estimation.
+
+The simplest estimator a peer can maintain from sampled identifiers, and
+the one Mercury's heuristics effectively use: count samples per bin,
+normalise, and treat the result as a piecewise-constant density.  The
+output is a full :class:`~repro.distributions.PiecewiseConstant`
+distribution, so an estimated density plugs into
+:func:`repro.core.build_skewed_model` unchanged — that composition *is*
+the adaptive network construction of Section 4.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import PiecewiseConstant
+
+__all__ = ["HistogramEstimator"]
+
+
+class HistogramEstimator:
+    """Estimate a density on ``[0, 1)`` by binning observed identifiers.
+
+    Args:
+        n_bins: number of equal-width bins (>= 1).
+        smoothing: Laplace pseudo-count added to every bin; keeps the
+            estimated density strictly positive so its CDF stays
+            invertible even where no samples landed.
+
+    The estimator is incremental: :meth:`observe` can be called many
+    times (peers keep learning as they see more lookups) and
+    :meth:`distribution` snapshots the current estimate.
+    """
+
+    def __init__(self, n_bins: int = 32, smoothing: float = 0.5):
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        if smoothing < 0:
+            raise ValueError(f"smoothing must be >= 0, got {smoothing}")
+        self.n_bins = n_bins
+        self.smoothing = float(smoothing)
+        self.counts = np.zeros(n_bins, dtype=float)
+        self.n_observed = 0
+
+    def observe(self, samples) -> None:
+        """Fold new identifier samples into the running counts.
+
+        Raises:
+            ValueError: if any sample lies outside ``[0, 1)``.
+        """
+        samples = np.atleast_1d(np.asarray(samples, dtype=float))
+        if samples.size == 0:
+            return
+        if np.any((samples < 0.0) | (samples >= 1.0)):
+            raise ValueError("samples must lie in [0, 1)")
+        bins = np.minimum((samples * self.n_bins).astype(int), self.n_bins - 1)
+        np.add.at(self.counts, bins, 1.0)
+        self.n_observed += len(samples)
+
+    def distribution(self) -> PiecewiseConstant:
+        """Return the current estimate as a piecewise-constant distribution."""
+        weights = self.counts + self.smoothing
+        if weights.sum() <= 0:  # n_bins >= 1 with smoothing 0 and no data
+            weights = np.ones(self.n_bins)
+        edges = np.linspace(0.0, 1.0, self.n_bins + 1)
+        dist = PiecewiseConstant(edges, weights)
+        dist.name = f"histogram({self.n_bins})"
+        return dist
+
+    def fit(self, samples) -> PiecewiseConstant:
+        """Convenience: observe ``samples`` and return the estimate."""
+        self.observe(samples)
+        return self.distribution()
+
+    def __repr__(self) -> str:
+        return (
+            f"HistogramEstimator(n_bins={self.n_bins}, "
+            f"n_observed={self.n_observed})"
+        )

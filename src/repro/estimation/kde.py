@@ -1,0 +1,97 @@
+"""Gaussian kernel density estimation on the unit interval.
+
+A smoother alternative to the histogram estimator for peers with small
+sample budgets: place a Gaussian kernel on every observed identifier,
+truncate/renormalise to ``[0, 1)`` and expose the result through the
+standard :class:`~repro.distributions.Distribution` interface (the CDF is
+a finite sum of error functions, so the eq. (7) criterion stays exact).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+try:  # pragma: no cover - exercised implicitly by which branch runs
+    from scipy.special import erf as _erf
+except ImportError:  # pragma: no cover - scipy is optional
+    _erf = np.vectorize(math.erf, otypes=[float])
+
+__all__ = ["KernelDensityEstimate", "silverman_bandwidth"]
+
+_SQRT2 = math.sqrt(2.0)
+_SQRT2PI = math.sqrt(2.0 * math.pi)
+
+
+def silverman_bandwidth(samples: np.ndarray) -> float:
+    """Return Silverman's rule-of-thumb bandwidth for a 1-d sample.
+
+    ``h = 0.9 · min(std, IQR/1.34) · n^(−1/5)``, floored at a small
+    positive value so degenerate samples (all identical) stay usable.
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = len(samples)
+    if n < 2:
+        return 0.1
+    std = float(np.std(samples))
+    q75, q25 = np.percentile(samples, [75, 25])
+    iqr = float(q75 - q25)
+    spread_candidates = [s for s in (std, iqr / 1.34) if s > 0]
+    spread = min(spread_candidates) if spread_candidates else 0.0
+    return max(0.9 * spread * n ** (-0.2), 1e-4)
+
+
+class KernelDensityEstimate(Distribution):
+    """Gaussian KDE over observed identifiers, truncated to ``[0, 1)``.
+
+    Args:
+        samples: observed identifiers in ``[0, 1)``; at least one.
+        bandwidth: kernel standard deviation; ``None`` selects Silverman's
+            rule of thumb.
+
+    Raises:
+        ValueError: on empty samples, out-of-range values or
+            non-positive bandwidth.
+    """
+
+    name = "kde"
+
+    def __init__(self, samples, bandwidth: float | None = None):
+        samples = np.asarray(samples, dtype=float).ravel()
+        if len(samples) == 0:
+            raise ValueError("KDE needs at least one sample")
+        if np.any((samples < 0.0) | (samples >= 1.0)):
+            raise ValueError("samples must lie in [0, 1)")
+        if bandwidth is None:
+            bandwidth = silverman_bandwidth(samples)
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self.samples = samples
+        self.bandwidth = float(bandwidth)
+        # Total truncated mass on [0, 1], summed over all kernels: the
+        # normaliser that turns the kernel sum into a proper density.
+        mass = self._raw_cdf(np.asarray([1.0])) - self._raw_cdf(np.asarray([0.0]))
+        self._total = float(mass[0])
+
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        """Sum of untruncated kernel CDFs at points ``x`` (length-n output)."""
+        z = (x[:, None] - self.samples[None, :]) / (self.bandwidth * _SQRT2)
+        return 0.5 * (1.0 + _erf(z)).sum(axis=1)
+
+    def _pdf(self, x: np.ndarray) -> np.ndarray:
+        z = (x[:, None] - self.samples[None, :]) / self.bandwidth
+        dens = np.exp(-0.5 * z * z).sum(axis=1) / (self.bandwidth * _SQRT2PI)
+        return dens / self._total
+
+    def _cdf(self, x: np.ndarray) -> np.ndarray:
+        zero = self._raw_cdf(np.asarray([0.0]))[0]
+        return (self._raw_cdf(x) - zero) / self._total
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelDensityEstimate(n_samples={len(self.samples)}, "
+            f"bandwidth={self.bandwidth:.4g})"
+        )

@@ -1,0 +1,130 @@
+"""Streaming quantile estimation (extended P² algorithm).
+
+Peers in a live overlay cannot afford to store every identifier they
+observe.  The P² algorithm (Jain & Chlamtac, 1985) maintains a fixed set
+of markers whose heights converge to chosen quantiles using piecewise-
+parabolic interpolation — O(1) memory and O(markers) time per
+observation.  We run one marker lattice over a uniform quantile grid,
+which yields a full streaming approximation of the CDF; the snapshot is
+exposed as an :class:`~repro.distributions.Empirical` distribution so it
+can drive the skewed-model construction directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import Empirical
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """Streaming CDF sketch over a uniform quantile grid via P².
+
+    Args:
+        n_quantiles: number of interior quantiles tracked (>= 1); the
+            marker count is ``n_quantiles + 2`` (plus the min/max).
+
+    The first ``n_quantiles + 2`` observations are buffered verbatim;
+    after that the P² update rule adjusts marker heights in O(1) per
+    marker per observation.
+    """
+
+    def __init__(self, n_quantiles: int = 15):
+        if n_quantiles < 1:
+            raise ValueError(f"n_quantiles must be >= 1, got {n_quantiles}")
+        self.probs = np.linspace(0.0, 1.0, n_quantiles + 2)  # includes 0 and 1
+        self.n_markers = len(self.probs)
+        self._heights: np.ndarray | None = None
+        self._positions: np.ndarray | None = None
+        self._buffer: list[float] = []
+        self.n_observed = 0
+
+    def observe(self, samples) -> None:
+        """Fold new observations into the sketch.
+
+        Raises:
+            ValueError: if any sample lies outside ``[0, 1)``.
+        """
+        samples = np.atleast_1d(np.asarray(samples, dtype=float))
+        if np.any((samples < 0.0) | (samples >= 1.0)):
+            raise ValueError("samples must lie in [0, 1)")
+        for value in samples:
+            self._observe_one(float(value))
+
+    def _observe_one(self, value: float) -> None:
+        self.n_observed += 1
+        if self._heights is None:
+            self._buffer.append(value)
+            if len(self._buffer) == self.n_markers:
+                self._heights = np.sort(np.asarray(self._buffer))
+                self._positions = np.arange(1.0, self.n_markers + 1.0)
+                self._buffer = []
+            return
+        heights = self._heights
+        positions = self._positions
+        # Locate the cell and bump the observation count of markers above it.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[-1]:
+            heights[-1] = value
+            cell = self.n_markers - 2
+        else:
+            cell = int(np.searchsorted(heights, value, side="right")) - 1
+            cell = min(cell, self.n_markers - 2)
+        positions[cell + 1 :] += 1.0
+        # Desired marker positions for the current count.
+        count = positions[-1]
+        desired = 1.0 + self.probs * (count - 1.0)
+        # Adjust interior markers toward their desired positions.
+        for i in range(1, self.n_markers - 1):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # fall back to linear interpolation
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        """Piecewise-parabolic height prediction for marker ``i``."""
+        h, n = self._heights, self._positions
+        term_a = (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+        term_b = (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        return h[i] + step * (term_a + term_b) / (n[i + 1] - n[i - 1])
+
+    def _linear(self, i: int, step: float) -> float:
+        """Linear fallback when the parabolic prediction leaves the bracket."""
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def quantiles(self) -> np.ndarray:
+        """Return the current marker heights (estimated quantile values).
+
+        Raises:
+            ValueError: before any observation has been made.
+        """
+        if self._heights is not None:
+            return self._heights.copy()
+        if not self._buffer:
+            raise ValueError("no observations yet")
+        # Small-sample regime: exact empirical quantiles of the buffer.
+        return np.quantile(np.asarray(self._buffer), self.probs)
+
+    def distribution(self) -> Empirical:
+        """Return the sketched CDF as an :class:`Empirical` distribution."""
+        values = np.clip(self.quantiles(), 0.0, np.nextafter(1.0, 0.0))
+        return Empirical(values)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(n_markers={self.n_markers}, "
+            f"n_observed={self.n_observed})"
+        )

@@ -1,0 +1,73 @@
+"""Peer-identifier sampling strategies.
+
+Section 4.2's "more realistic situation" has peers acquire knowledge of
+the key distribution ``f`` *locally, by interacting with other peers*.
+In a deployed system that interaction is gossip or random walks; in the
+simulator we model the two regimes that matter for the experiments:
+
+* :func:`uniform_id_sample` — unbiased sampling (ideal gossip with
+  membership-uniform selection, the assumption behind Mercury's
+  estimators);
+* :func:`random_walk_sample` — samples collected by short random walks
+  over an actual overlay graph, which are *degree-biased*; the
+  reproduction quantifies how much this bias costs the adaptive join
+  (experiment E10 ablation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import SmallWorldGraph
+
+__all__ = ["uniform_id_sample", "random_walk_sample"]
+
+
+def uniform_id_sample(
+    ids: np.ndarray, n_samples: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Return ``n_samples`` peer identifiers drawn uniformly with replacement.
+
+    Raises:
+        ValueError: on an empty population or negative sample size.
+    """
+    ids = np.asarray(ids, dtype=float)
+    if len(ids) == 0:
+        raise ValueError("cannot sample from an empty population")
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    return ids[rng.integers(0, len(ids), size=n_samples)]
+
+
+def random_walk_sample(
+    graph: SmallWorldGraph,
+    n_samples: int,
+    rng: np.random.Generator,
+    walk_length: int = 10,
+    start: int | None = None,
+) -> np.ndarray:
+    """Collect peer identifiers by independent random walks on ``graph``.
+
+    Each sample is the endpoint of a ``walk_length``-hop uniform random
+    walk over out-links (ring neighbours + long links), started from
+    ``start`` (or a uniform random peer).  Endpoint distributions are
+    biased toward high in-degree peers — the realistic imperfection of
+    walk-based gossip.
+
+    Raises:
+        ValueError: on a negative sample size or walk length.
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be >= 0, got {n_samples}")
+    if walk_length < 0:
+        raise ValueError(f"walk_length must be >= 0, got {walk_length}")
+    out = np.empty(n_samples, dtype=float)
+    for s in range(n_samples):
+        current = int(rng.integers(graph.n)) if start is None else start
+        for _ in range(walk_length):
+            links = graph.out_links(current)
+            if len(links) == 0:
+                break
+            current = int(links[rng.integers(len(links))])
+        out[s] = graph.ids[current]
+    return out

@@ -1,0 +1,10 @@
+"""Experiment harness: every reproduced table/figure, one id each.
+
+See DESIGN.md for the experiment index (E1..E12) and EXPERIMENTS.md for
+recorded paper-vs-measured outcomes.  Run via ``python -m repro``.
+"""
+
+from repro.experiments.report import Column, ResultTable
+from repro.experiments.runner import REGISTRY, Experiment, run_experiment
+
+__all__ = ["Column", "ResultTable", "REGISTRY", "Experiment", "run_experiment"]

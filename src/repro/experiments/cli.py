@@ -1,0 +1,88 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-experiments``.
+
+Subcommands:
+
+* ``list`` — show the experiment registry;
+* ``run E1 [E5 ...]`` — run experiments and print their tables
+  (``--quick`` for the reduced-size variants, ``--seed`` for
+  reproducibility, ``--csv`` for machine-readable output);
+* ``run all`` — run the full suite in registry order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import REGISTRY, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Return the configured argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction harness for 'On Small World Graphs in Non-uniformly "
+            "Distributed Key Spaces' (ICDE 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered experiments")
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (E1..E12) or 'all'",
+    )
+    run_p.add_argument("--seed", type=int, default=0, help="random seed")
+    run_p.add_argument(
+        "--quick", action="store_true", help="reduced sizes for a fast pass"
+    )
+    run_p.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of ASCII tables"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(e.title) for e in REGISTRY.values())
+    for exp in REGISTRY.values():
+        print(f"{exp.exp_id:>4}  {exp.title:<{width}}  [{exp.paper_anchor}]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    wanted = args.experiments
+    if len(wanted) == 1 and wanted[0].lower() == "all":
+        wanted = list(REGISTRY)
+    status = 0
+    for exp_id in wanted:
+        try:
+            start = time.perf_counter()
+            tables = run_experiment(exp_id, seed=args.seed, quick=args.quick)
+            elapsed = time.perf_counter() - start
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            status = 2
+            continue
+        for table in tables:
+            print(table.to_csv() if args.csv else table.render())
+            print()
+        print(f"[{exp_id.upper()} completed in {elapsed:.1f}s]")
+        print()
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""E8 — storage load balance under skewed keys (Section 4.1).
+
+The skewed model exists so that peers can be placed *non-uniformly* to
+balance storage: "a mechanism that assigns peers according to a
+non-uniform distribution in the key-space adapting to the load
+distribution, such that the balanced number of data objects are assigned
+to each peer, irrespectively of their distribution in the key-space."
+
+The experiment stores a skewed key corpus over populations placed by
+four mechanisms and reports the balance metrics; the online-rebalancing
+ablation shows the mechanism is achievable without knowing ``f``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import make_skewed
+from repro.experiments.report import Column, ResultTable
+from repro.loadbalance import (
+    density_tracking_placement,
+    quantile_placement,
+    rebalance_reorder,
+    sampled_key_placement,
+    storage_loads,
+    summarize_loads,
+    uniform_placement,
+)
+from repro.workloads import corpus_from_distribution
+
+__all__ = ["run_e8"]
+
+
+def run_e8(
+    seed: int = 0, quick: bool = False, family: str = "powerlaw"
+) -> ResultTable:
+    """E8: per-peer storage balance for four placement mechanisms."""
+    rng = np.random.default_rng(seed)
+    n_peers = 128 if quick else 512
+    n_keys = 20_000 if quick else 100_000
+    strengths = [0.0, 0.5, 1.0] if quick else [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    table = ResultTable(
+        title=(
+            f"E8 (Sec. 4.1): storage balance vs skew, {n_peers} peers, "
+            f"{n_keys} keys, family={family}"
+        ),
+        columns=[
+            Column("strength", "skew", ".2f"),
+            Column("placement", "placement"),
+            Column("gini", "gini", ".3f"),
+            Column("max_mean", "max/mean", ".1f"),
+            Column("cv", "cv", ".2f"),
+            Column("empty", "empty peers", ".3f"),
+        ],
+    )
+    for strength in strengths:
+        dist = make_skewed(family, strength)
+        keys = corpus_from_distribution(dist, n_keys, rng)
+        placements = {
+            "uniform": uniform_placement(n_peers, rng),
+            "density-tracking": density_tracking_placement(dist, n_peers, rng),
+            "sampled-key": sampled_key_placement(keys, n_peers, rng),
+            "quantile": quantile_placement(dist, n_peers),
+        }
+        rebalanced = rebalance_reorder(
+            placements["uniform"].copy(), keys, threshold=4.0
+        )
+        placements["uniform+rebalance"] = rebalanced.peer_ids
+        for name, peer_ids in placements.items():
+            summary = summarize_loads(storage_loads(peer_ids, keys))
+            table.add_row(
+                strength=strength,
+                placement=name,
+                gini=summary.gini,
+                max_mean=summary.max_mean_ratio,
+                cv=summary.cv,
+                empty=summary.empty_fraction,
+            )
+    table.add_note(
+        "expectation: uniform placement degrades with skew (gini -> 1); "
+        "density-tracking / sampled-key / quantile stay near the uniform-key "
+        "baseline at every skew; rebalancing repairs uniform placement online"
+    )
+    return table

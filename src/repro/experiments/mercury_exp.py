@@ -1,0 +1,83 @@
+"""E12 — Mercury's sampling heuristic converges to the formal model.
+
+The paper frames its Theorem 2 construction as the formal framework
+"including Mercury's heuristics": Mercury approximates the eq. (7)
+criterion with an estimated CDF built from sampled identifiers.  The
+experiment sweeps the per-peer sample budget and shows the hop penalty
+relative to the true-CDF model vanish as the budget grows — while the
+naive (skew-oblivious) construction stays far worse at any budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import MercuryOverlay, SymphonyOverlay, measure_overlay
+from repro.core import (
+    build_naive_model,
+    build_skewed_model,
+    build_uniform_model,
+    sample_routes,
+)
+from repro.distributions import PowerLaw
+from repro.experiments.report import Column, ResultTable
+from repro.overlay import summarize_lookups
+
+__all__ = ["run_e12"]
+
+
+def run_e12(seed: int = 0, quick: bool = False) -> ResultTable:
+    """E12: Mercury hop counts vs per-peer sampling budget."""
+    rng = np.random.default_rng(seed)
+    n = 512 if quick else 2048
+    n_routes = 200 if quick else 1000
+    dist = PowerLaw(alpha=1.8, shift=1e-4)
+    ids = np.sort(dist.sample(n, rng))
+
+    model = build_skewed_model(dist, rng=rng, ids=ids)
+    model_hops = summarize_lookups(sample_routes(model, n_routes, rng)).mean_hops
+    naive = build_naive_model(dist, rng=rng, ids=ids)
+    naive_hops = summarize_lookups(sample_routes(naive, n_routes, rng)).mean_hops
+    # Reference penalty: the same unidirectional harmonic machinery on a
+    # *uniform* population (Symphony with Mercury's budget).  Mercury's
+    # skew handling is perfect when its penalty matches this floor —
+    # whatever remains is the clockwise-only draw, not estimation error.
+    uniform_ids = np.sort(rng.random(n))
+    uniform_model = build_uniform_model(rng=rng, ids=uniform_ids)
+    symphony = SymphonyOverlay(uniform_ids, rng, k=len(model.long_links[0]))
+    floor = (
+        measure_overlay(symphony, n_routes, rng, target_ids=symphony.ids).mean_hops
+        / summarize_lookups(sample_routes(uniform_model, n_routes, rng)).mean_hops
+    )
+
+    table = ResultTable(
+        title=f"E12: Mercury sampling budget vs the formal model, powerlaw, N={n}",
+        columns=[
+            Column("samples", "samples/peer"),
+            Column("hops", "mercury hops", ".2f"),
+            Column("penalty", "penalty vs model", ".2f"),
+        ],
+    )
+    budgets = [4, 16, 64] if quick else [4, 8, 16, 32, 64, 128, 256]
+    for budget in budgets:
+        mercury = MercuryOverlay(ids, rng, sample_size=budget)
+        stats = measure_overlay(mercury, n_routes, rng, target_ids=mercury.ids)
+        table.add_row(
+            samples=budget,
+            hops=stats.mean_hops,
+            penalty=stats.mean_hops / model_hops,
+        )
+    table.add_note(
+        f"true-CDF model: {model_hops:.2f} hops; naive (skew-oblivious): "
+        f"{naive_hops:.2f} hops"
+    )
+    table.add_note(
+        f"unidirectional-draw floor (Symphony on uniform ids, same budget): "
+        f"penalty {floor:.2f} — Mercury's skew handling is ideal when its "
+        "penalty reaches this floor"
+    )
+    table.add_note(
+        "expectation: penalty decreases toward the floor as the budget grows; "
+        "even tiny budgets beat the naive construction by a wide margin"
+    )
+    return table

@@ -1,0 +1,97 @@
+"""Result tables: the uniform output format of every experiment.
+
+Each experiment returns one or more :class:`ResultTable` objects; the
+same tables are rendered by the CLI, printed by the benchmark harness
+and recorded in EXPERIMENTS.md — one source of truth for "the paper's
+numbers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Column", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a result table.
+
+    Attributes:
+        key: dict key to read from each row.
+        header: printed column header.
+        fmt: python format spec applied to values (e.g. ``".2f"``).
+    """
+
+    key: str
+    header: str
+    fmt: str = ""
+
+
+@dataclass
+class ResultTable:
+    """A titled table of result rows plus free-form notes.
+
+    Attributes:
+        title: table heading (includes the experiment id).
+        columns: column definitions, in display order.
+        rows: list of dicts keyed by column key.
+        notes: contextual lines printed under the table (expectations,
+            fitted slopes, analytic bounds...).
+    """
+
+    title: str
+    columns: list[Column]
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        """Append a row (keyword arguments keyed by column key)."""
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Append a note line rendered below the table."""
+        self.notes.append(note)
+
+    def _formatted(self) -> list[list[str]]:
+        out = []
+        for row in self.rows:
+            line = []
+            for col in self.columns:
+                value = row.get(col.key, "")
+                if value is None or value == "":
+                    line.append("-")
+                elif col.fmt:
+                    line.append(format(value, col.fmt))
+                else:
+                    line.append(str(value))
+            out.append(line)
+        return out
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII text."""
+        headers = [col.header for col in self.columns]
+        body = self._formatted()
+        widths = [len(h) for h in headers]
+        for line in body:
+            for i, cell in enumerate(line):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append(sep)
+        for line in body:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(line, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV (headers from column keys)."""
+        out = [",".join(col.key for col in self.columns)]
+        for line in self._formatted():
+            out.append(",".join(cell.replace(",", ";") for cell in line))
+        return "\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

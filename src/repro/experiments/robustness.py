@@ -1,0 +1,89 @@
+"""E9 — robustness under connectivity loss (Section 3.1).
+
+"It also implies that the networks built according to 'Kleinbergian'
+style would be more robust and resistant to network churn.  Even in the
+case of connectivity loss, the routing cost will be at worst
+poly-logarithmic given we have at least one long-range link and the
+neighboring links intact."
+
+Two damage modes are measured on the uniform model:
+
+* *link loss*: a fraction of long-range edges is removed (neighbour
+  edges intact) — hops must grow smoothly, staying polylogarithmic;
+* *peer failure*: a fraction of peers dies; routing runs with a
+  liveness mask and success means reaching the surviving owner.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core import build_uniform_model, sample_routes
+from repro.experiments.report import Column, ResultTable
+from repro.overlay import drop_long_links, kill_peers, summarize_lookups
+
+__all__ = ["run_e9"]
+
+
+def run_e9(seed: int = 0, quick: bool = False) -> list[ResultTable]:
+    """E9: hop degradation under long-link loss and peer failure."""
+    rng = np.random.default_rng(seed)
+    n = 512 if quick else 2048
+    n_routes = 200 if quick else 1200
+    graph = build_uniform_model(n=n, rng=rng)
+    polylog = math.log2(n) ** 2
+
+    loss_table = ResultTable(
+        title=f"E9a (Sec. 3.1): routing cost vs long-link loss, N={n}",
+        columns=[
+            Column("loss", "links removed", ".2f"),
+            Column("hops", "mean hops", ".2f"),
+            Column("p95", "p95 hops", ".1f"),
+            Column("success", "success", ".3f"),
+            Column("polylog", "log2(N)^2", ".1f"),
+        ],
+    )
+    fractions = [0.0, 0.5, 0.9] if quick else [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95]
+    for fraction in fractions:
+        damaged = drop_long_links(graph, fraction, rng)
+        stats = summarize_lookups(sample_routes(damaged, n_routes, rng))
+        loss_table.add_row(
+            loss=fraction,
+            hops=stats.mean_hops,
+            p95=stats.p95_hops,
+            success=stats.success_rate,
+            polylog=polylog,
+        )
+    loss_table.add_note(
+        "expectation: success stays 1.0 (neighbour edges intact); hops grow "
+        "smoothly and stay at/below the polylog envelope until extreme loss"
+    )
+
+    fail_table = ResultTable(
+        title=f"E9b: routing among surviving peers after failures, N={n}",
+        columns=[
+            Column("dead", "peers failed", ".2f"),
+            Column("hops", "mean hops", ".2f"),
+            Column("success", "success", ".3f"),
+            Column("stuck", "stuck rate", ".3f"),
+        ],
+    )
+    fail_fractions = [0.0, 0.1, 0.3] if quick else [0.0, 0.05, 0.1, 0.2, 0.3, 0.5]
+    for fraction in fail_fractions:
+        alive = kill_peers(graph, fraction, rng)
+        routes = sample_routes(graph, n_routes, rng, alive=alive)
+        stats = summarize_lookups(routes)
+        stuck = float(np.mean([r.reason == "stuck" for r in routes]))
+        fail_table.add_row(
+            dead=fraction,
+            hops=stats.mean_hops,
+            success=stats.success_rate,
+            stuck=stuck,
+        )
+    fail_table.add_note(
+        "peer failure can break interval neighbour chains (dead runs); the "
+        "residual stuck rate quantifies how much churn repair (E10) must fix"
+    )
+    return [loss_table, fail_table]

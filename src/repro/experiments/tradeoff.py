@@ -1,0 +1,68 @@
+"""E4 — the routing-table-size / search-cost trade-off of Section 3.1.
+
+"One of the possibilities would be to maintain a variable number of
+entries in routing tables for a tradeoff of logarithmic to
+polylogarithmic search cost, an observation that was also made in
+Symphony."
+
+With ``k`` long links per peer the expected greedy cost is
+``Θ(log2^2(N) / k)``: the experiment sweeps ``k`` from 1 (Symphony's
+regime) to ``2·log2 N`` and reports ``hops × k``, which the theory
+predicts to be roughly constant, alongside a real Symphony overlay at
+matching budgets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines import SymphonyOverlay, measure_overlay
+from repro.core import GraphConfig, build_uniform_model, sample_routes
+from repro.experiments.report import Column, ResultTable
+from repro.overlay import summarize_lookups
+
+__all__ = ["run_e4"]
+
+
+def run_e4(seed: int = 0, quick: bool = False) -> ResultTable:
+    """E4: hops vs outdegree k — the Symphony trade-off."""
+    rng = np.random.default_rng(seed)
+    n = 512 if quick else 4096
+    n_routes = 300 if quick else 1500
+    log2n = int(round(math.log2(n)))
+    ks = sorted(set([1, 2, 3, 4, log2n // 2, log2n, 2 * log2n]))
+    ids = np.sort(rng.random(n))
+
+    table = ResultTable(
+        title=f"E4 (Sec. 3.1): search cost vs routing-table size, N={n}",
+        columns=[
+            Column("k", "k (long links)"),
+            Column("hops", "model hops", ".2f"),
+            Column("hops_x_k", "hops*k", ".1f"),
+            Column("symphony", "symphony hops", ".2f"),
+            Column("log2n2_over_k", "log2(N)^2/k", ".1f"),
+        ],
+    )
+    for k in ks:
+        graph = build_uniform_model(
+            rng=rng, ids=ids, config=GraphConfig(out_degree=k)
+        )
+        stats = summarize_lookups(sample_routes(graph, n_routes, rng))
+        symphony = SymphonyOverlay(ids, rng, k=k)
+        symph_stats = measure_overlay(
+            symphony, n_routes, rng, target_ids=symphony.ids
+        )
+        table.add_row(
+            k=k,
+            hops=stats.mean_hops,
+            hops_x_k=stats.mean_hops * k,
+            symphony=symph_stats.mean_hops,
+            log2n2_over_k=math.log2(n) ** 2 / k,
+        )
+    table.add_note(
+        "expectation: hops*k roughly constant (cost ~ log2(N)^2 / k), and the "
+        "model tracks Symphony at equal budgets; k = log2(N) recovers Theorem 1"
+    )
+    return table

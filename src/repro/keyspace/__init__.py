@@ -1,0 +1,39 @@
+"""Key-space geometry: interval and ring metrics plus identifier utilities.
+
+The paper's models live on the one-dimensional unit key space ``[0, 1)``;
+this package provides the two topologies the paper discusses (interval in
+the proofs, ring "analogously") and the digit/prefix/hash helpers the
+baseline DHT implementations need.
+"""
+
+from repro.keyspace.base import KeySpace
+from repro.keyspace.ids import (
+    binary_digits,
+    bit_string,
+    common_prefix_length,
+    digits,
+    from_digits,
+    mix_hash,
+    morton_collapse,
+    morton_spread,
+)
+from repro.keyspace.interval import IntervalSpace
+from repro.keyspace.ring import RingSpace
+from repro.keyspace.search import nearest_index, predecessor_index, successor_index
+
+__all__ = [
+    "KeySpace",
+    "IntervalSpace",
+    "RingSpace",
+    "nearest_index",
+    "successor_index",
+    "predecessor_index",
+    "binary_digits",
+    "digits",
+    "from_digits",
+    "bit_string",
+    "common_prefix_length",
+    "mix_hash",
+    "morton_spread",
+    "morton_collapse",
+]

@@ -1,0 +1,97 @@
+"""Abstract key-space geometry.
+
+The paper embeds peers in the one-dimensional unit key space ``[0, 1)``
+and proves its results for the *interval* topology, noting that analogous
+results hold for the *ring* topology (Section 2.1).  Both topologies are
+implemented behind the :class:`KeySpace` interface so that every model,
+baseline and experiment can run on either.
+
+A key space, for our purposes, is the unit interval equipped with
+
+* a metric :meth:`KeySpace.distance`,
+* a signed shortest displacement :meth:`KeySpace.displacement`,
+* the reachable spans to the left/right of a point
+  (:meth:`KeySpace.spans`), which the long-range link samplers need to
+  know how much probability mass is available on each side, and
+* a :meth:`KeySpace.shift` operation used to turn a sampled distance into
+  a concrete target position.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["KeySpace"]
+
+
+class KeySpace(ABC):
+    """Geometry of the unit key space ``[0, 1)``.
+
+    Concrete subclasses are :class:`~repro.keyspace.interval.IntervalSpace`
+    (the topology of the paper's proofs) and
+    :class:`~repro.keyspace.ring.RingSpace` (the topology of Chord,
+    Symphony and Mercury).
+    """
+
+    #: Human-readable topology name (``"interval"`` or ``"ring"``).
+    name: str = "abstract"
+
+    #: Whether the space wraps around (ring) or has endpoints (interval).
+    is_ring: bool = False
+
+    @staticmethod
+    def contains(x: float) -> bool:
+        """Return ``True`` when ``x`` is a valid identifier in ``[0, 1)``."""
+        return 0.0 <= x < 1.0
+
+    @abstractmethod
+    def distance(self, a: float, b: float) -> float:
+        """Return the metric distance between identifiers ``a`` and ``b``."""
+
+    @abstractmethod
+    def displacement(self, a: float, b: float) -> float:
+        """Return the signed shortest displacement moving ``a`` onto ``b``.
+
+        Positive values point "rightward" (increasing identifiers); the
+        absolute value always equals :meth:`distance`.
+        """
+
+    @abstractmethod
+    def shift(self, x: float, delta: float) -> float:
+        """Return the position reached from ``x`` by moving ``delta``.
+
+        On a ring the result wraps modulo 1.  On an interval the result
+        may fall outside ``[0, 1)``; callers that sample link targets are
+        expected to check :meth:`contains` (the samplers never request an
+        out-of-range shift because they consult :meth:`spans` first).
+        """
+
+    @abstractmethod
+    def spans(self, x: float) -> tuple[float, float]:
+        """Return ``(left, right)`` reachable spans from ``x``.
+
+        ``left`` is the largest distance reachable by moving leftward
+        (toward smaller identifiers) and ``right`` by moving rightward.
+        For the interval these are ``(x, 1 - x)``; for the ring both are
+        ``1/2`` (the antipode).
+        """
+
+    def max_distance(self, x: float) -> float:
+        """Return the largest distance any identifier can have from ``x``."""
+        left, right = self.spans(x)
+        return max(left, right)
+
+    @abstractmethod
+    def distances(self, a: np.ndarray, b: float) -> np.ndarray:
+        """Vectorised :meth:`distance` between an array ``a`` and scalar ``b``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))

@@ -1,0 +1,181 @@
+"""Identifier utilities: digit expansions, prefixes, hashing, Morton codes.
+
+Structured overlays interpret identifiers in ``[0, 1)`` in different ways:
+
+* **P-Grid** and the partition analysis of Section 3.1 use *binary digit*
+  expansions (trie paths over recursive halvings of the key space).
+* **Pastry** uses base-``2^b`` digit strings and prefix matching.
+* **Classic DHT deployments** hash keys with SHA-1 to uniformise them;
+  we substitute a deterministic splitmix64-style mixer
+  (:func:`mix_hash`) that has the same uniformising effect without
+  cryptographic machinery (see DESIGN.md, "Simulation substitutions").
+* **CAN** maps the 1-d key space into a d-dimensional torus; the
+  locality-preserving choice is bit de-interleaving (inverse Morton /
+  Z-order), provided by :func:`morton_spread` / :func:`morton_collapse`.
+
+All functions operate on plain floats in ``[0, 1)`` and plain tuples so
+they are trivially hashable and testable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "binary_digits",
+    "digits",
+    "from_digits",
+    "bit_string",
+    "common_prefix_length",
+    "mix_hash",
+    "morton_spread",
+    "morton_collapse",
+]
+
+#: Number of mantissa bits we trust when converting floats to digit strings.
+MAX_BITS = 52
+
+
+def binary_digits(x: float, depth: int) -> tuple[int, ...]:
+    """Return the first ``depth`` binary digits of ``x`` in ``[0, 1)``.
+
+    ``binary_digits(0.8125, 4)`` is ``(1, 1, 0, 1)`` because
+    ``0.8125 = 0.1101`` in binary.
+
+    Raises:
+        ValueError: if ``x`` is outside ``[0, 1)`` or ``depth`` is not in
+            ``[0, MAX_BITS]``.
+    """
+    return digits(x, base=2, depth=depth)
+
+
+def digits(x: float, base: int, depth: int) -> tuple[int, ...]:
+    """Return the first ``depth`` base-``base`` digits of ``x`` in ``[0, 1)``.
+
+    Raises:
+        ValueError: on out-of-range ``x``, ``base < 2`` or a depth that
+            exceeds float precision for the given base.
+    """
+    if not 0.0 <= x < 1.0:
+        raise ValueError(f"identifier {x!r} outside [0, 1)")
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    bits_needed = depth * max((base - 1).bit_length(), 1)
+    if bits_needed > MAX_BITS:
+        raise ValueError(
+            f"depth {depth} in base {base} exceeds float precision "
+            f"({bits_needed} > {MAX_BITS} bits)"
+        )
+    out = []
+    frac = x
+    for _ in range(depth):
+        frac *= base
+        digit = int(frac)
+        if digit >= base:  # guard against float round-up at the boundary
+            digit = base - 1
+        out.append(digit)
+        frac -= digit
+    return tuple(out)
+
+
+def from_digits(seq: tuple[int, ...] | list[int], base: int = 2) -> float:
+    """Return the float in ``[0, 1)`` whose base-``base`` expansion starts with ``seq``.
+
+    This is the left endpoint of the key-space cell addressed by the digit
+    string; it inverts :func:`digits` up to truncation.
+    """
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    value = 0.0
+    scale = 1.0
+    for digit in seq:
+        if not 0 <= digit < base:
+            raise ValueError(f"digit {digit} out of range for base {base}")
+        scale /= base
+        value += digit * scale
+    return value
+
+
+def bit_string(x: float, depth: int) -> str:
+    """Return the first ``depth`` binary digits of ``x`` as a string."""
+    return "".join(str(b) for b in binary_digits(x, depth))
+
+
+def common_prefix_length(a: tuple[int, ...], b: tuple[int, ...]) -> int:
+    """Return the length of the longest common prefix of two digit tuples."""
+    n = 0
+    for da, db in zip(a, b):
+        if da != db:
+            break
+        n += 1
+    return n
+
+
+def _splitmix64(z: int) -> int:
+    """One round of the splitmix64 mixing function (public-domain constants)."""
+    z = (z + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def mix_hash(x: float) -> float:
+    """Deterministically map ``x`` in ``[0, 1)`` to a ~uniform value in ``[0, 1)``.
+
+    Stands in for the SHA-1 hashing that classic DHTs apply to keys: it
+    destroys ordering/locality and uniformises arbitrary input skew, which
+    is exactly the property the experiments need when comparing "hashed"
+    and "order-preserving" regimes.
+    """
+    if not 0.0 <= x < 1.0:
+        raise ValueError(f"identifier {x!r} outside [0, 1)")
+    z = _splitmix64(int(x * (1 << 53)))
+    return (z >> 11) / float(1 << 53)
+
+
+def morton_spread(x: float, dims: int, bits_per_dim: int = 16) -> tuple[float, ...]:
+    """De-interleave the bits of ``x`` into a ``dims``-dimensional point.
+
+    The inverse Z-order mapping: consecutive bits of ``x`` are distributed
+    round-robin across the output coordinates, so nearby keys land in
+    nearby cells of the ``dims``-dimensional unit torus.  Used to embed
+    the 1-d key space into CAN's d-dimensional zone space while retaining
+    locality.
+    """
+    if not 0.0 <= x < 1.0:
+        raise ValueError(f"identifier {x!r} outside [0, 1)")
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    total_bits = dims * bits_per_dim
+    if total_bits > MAX_BITS:
+        raise ValueError(
+            f"dims*bits_per_dim = {total_bits} exceeds float precision"
+        )
+    bits = binary_digits(x, total_bits)
+    coords = []
+    for d in range(dims):
+        value = 0.0
+        scale = 1.0
+        for level in range(bits_per_dim):
+            scale /= 2.0
+            value += bits[level * dims + d] * scale
+        coords.append(value)
+    return tuple(coords)
+
+
+def morton_collapse(point: tuple[float, ...], bits_per_dim: int = 16) -> float:
+    """Interleave the bits of a d-dimensional point back into a key.
+
+    Inverse of :func:`morton_spread` up to ``bits_per_dim`` precision.
+    """
+    dims = len(point)
+    if dims < 1:
+        raise ValueError("point must have at least one coordinate")
+    per_dim = [binary_digits(c, bits_per_dim) for c in point]
+    value = 0.0
+    scale = 1.0
+    for level in range(bits_per_dim):
+        for d in range(dims):
+            scale /= 2.0
+            value += per_dim[d][level] * scale
+    return value

@@ -1,0 +1,42 @@
+"""The unit-interval key space ``[0, 1)`` with ``d(u, v) = |v - u|``.
+
+This is the topology used by the paper's proofs (Section 2.1, eq. (1)):
+identifiers live on the interval, distance is the absolute difference and
+there is no wrap-around, so the two endpoints have only one-sided
+neighbourhoods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.keyspace.base import KeySpace
+
+__all__ = ["IntervalSpace"]
+
+
+class IntervalSpace(KeySpace):
+    """Interval topology: absolute-difference metric, no wrap-around."""
+
+    name = "interval"
+    is_ring = False
+
+    def distance(self, a: float, b: float) -> float:
+        """Return ``|b - a|`` (paper eq. (1))."""
+        return abs(b - a)
+
+    def displacement(self, a: float, b: float) -> float:
+        """Return ``b - a``; positive when ``b`` lies to the right of ``a``."""
+        return b - a
+
+    def shift(self, x: float, delta: float) -> float:
+        """Return ``x + delta`` without wrapping."""
+        return x + delta
+
+    def spans(self, x: float) -> tuple[float, float]:
+        """Return ``(x, 1 - x)``: the distances to the two endpoints."""
+        return (x, 1.0 - x)
+
+    def distances(self, a: np.ndarray, b: float) -> np.ndarray:
+        """Vectorised absolute difference ``|a - b|``."""
+        return np.abs(np.asarray(a, dtype=float) - b)

@@ -1,0 +1,60 @@
+"""The ring key space: ``[0, 1)`` with wrap-around circular distance.
+
+The paper proves its theorems for the interval topology and remarks that
+"analogous results can be given for other topologies, in particular the
+ring topology" (Section 2.1).  The ring is the natural habitat of Chord,
+Symphony and Mercury, so the reproduction implements it fully and runs
+the scaling experiments on both topologies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.keyspace.base import KeySpace
+
+__all__ = ["RingSpace"]
+
+
+class RingSpace(KeySpace):
+    """Ring topology: circular metric ``min(|b - a|, 1 - |b - a|)``."""
+
+    name = "ring"
+    is_ring = True
+
+    def distance(self, a: float, b: float) -> float:
+        """Return the circular distance between ``a`` and ``b``."""
+        gap = abs(b - a)
+        return min(gap, 1.0 - gap)
+
+    def displacement(self, a: float, b: float) -> float:
+        """Return the signed shortest displacement from ``a`` to ``b``.
+
+        The result lies in ``[-1/2, 1/2)``; adding it to ``a`` (mod 1)
+        yields ``b``.
+        """
+        delta = (b - a) % 1.0
+        if delta >= 0.5:
+            delta -= 1.0
+        return delta
+
+    def shift(self, x: float, delta: float) -> float:
+        """Return ``(x + delta) mod 1``."""
+        return (x + delta) % 1.0
+
+    def spans(self, x: float) -> tuple[float, float]:
+        """Return ``(1/2, 1/2)``: the antipode bounds both directions."""
+        return (0.5, 0.5)
+
+    def clockwise_distance(self, a: float, b: float) -> float:
+        """Return the clockwise (increasing-id) distance from ``a`` to ``b``.
+
+        Chord-style unidirectional routing measures progress with this
+        asymmetric distance rather than the symmetric metric.
+        """
+        return (b - a) % 1.0
+
+    def distances(self, a: np.ndarray, b: float) -> np.ndarray:
+        """Vectorised circular distance between array ``a`` and scalar ``b``."""
+        gap = np.abs(np.asarray(a, dtype=float) - b)
+        return np.minimum(gap, 1.0 - gap)

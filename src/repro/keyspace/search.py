@@ -1,0 +1,72 @@
+"""Nearest-identifier search over sorted peer populations.
+
+Every overlay in this repository stores its peers as a sorted numpy array
+of identifiers.  Resolving which peer *owns* a key (the peer with minimal
+key-space distance) is therefore a bisection plus a constant number of
+comparisons; this module centralises that logic for both topologies so
+that routing code, join protocols and test oracles all agree on
+ownership.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.keyspace.base import KeySpace
+
+__all__ = ["nearest_index", "successor_index", "predecessor_index"]
+
+
+def nearest_index(sorted_ids: np.ndarray, key: float, space: KeySpace) -> int:
+    """Return the index of the identifier closest to ``key``.
+
+    Ties (a key exactly halfway between two peers) resolve to the
+    lower-identifier peer, matching the deterministic tie-break used by
+    greedy routing.
+
+    Args:
+        sorted_ids: one-dimensional *sorted* array of identifiers.
+        key: the lookup key in ``[0, 1)``.
+        space: the key-space geometry deciding the metric.
+
+    Raises:
+        ValueError: if ``sorted_ids`` is empty.
+    """
+    n = len(sorted_ids)
+    if n == 0:
+        raise ValueError("cannot search an empty identifier set")
+    pos = int(np.searchsorted(sorted_ids, key))
+    if space.is_ring:
+        candidates = ((pos - 1) % n, pos % n)
+    else:
+        candidates = tuple(i for i in (pos - 1, pos) if 0 <= i < n)
+    best = candidates[0]
+    best_dist = space.distance(float(sorted_ids[best]), key)
+    for idx in candidates[1:]:
+        dist = space.distance(float(sorted_ids[idx]), key)
+        if dist < best_dist or (dist == best_dist and sorted_ids[idx] < sorted_ids[best]):
+            best = idx
+            best_dist = dist
+    return int(best)
+
+
+def successor_index(sorted_ids: np.ndarray, key: float) -> int:
+    """Return the index of the first identifier ``>= key`` (ring wrap at the top).
+
+    This is Chord's ``successor`` function on the unit ring: keys beyond
+    the largest identifier wrap to index 0.
+    """
+    n = len(sorted_ids)
+    if n == 0:
+        raise ValueError("cannot search an empty identifier set")
+    pos = int(np.searchsorted(sorted_ids, key, side="left"))
+    return pos % n
+
+
+def predecessor_index(sorted_ids: np.ndarray, key: float) -> int:
+    """Return the index of the last identifier ``< key`` (ring wrap at 0)."""
+    n = len(sorted_ids)
+    if n == 0:
+        raise ValueError("cannot search an empty identifier set")
+    pos = int(np.searchsorted(sorted_ids, key, side="left")) - 1
+    return pos % n

@@ -1,0 +1,27 @@
+"""Storage load balancing: placements, metrics and online rebalancing.
+
+Makes the paper's Section 4.1 assumption ("peers are assigned according
+to the load distribution") concrete and measurable.
+"""
+
+from repro.loadbalance.metrics import LoadSummary, gini, storage_loads, summarize_loads
+from repro.loadbalance.placement import (
+    density_tracking_placement,
+    quantile_placement,
+    sampled_key_placement,
+    uniform_placement,
+)
+from repro.loadbalance.rebalance import RebalanceResult, rebalance_reorder
+
+__all__ = [
+    "storage_loads",
+    "gini",
+    "LoadSummary",
+    "summarize_loads",
+    "uniform_placement",
+    "density_tracking_placement",
+    "sampled_key_placement",
+    "quantile_placement",
+    "RebalanceResult",
+    "rebalance_reorder",
+]

@@ -1,0 +1,45 @@
+"""Live-overlay simulation: joins, maintenance, churn and measurement.
+
+The dynamic counterpart of the snapshot graphs in :mod:`repro.core`,
+implementing the network-construction and maintenance protocols sketched
+in Section 4.2 of the paper plus the failure-injection tooling used by
+the robustness experiments.
+"""
+
+from repro.overlay.churn import (
+    ChurnConfig,
+    ChurnEpoch,
+    drop_long_links,
+    kill_peers,
+    run_churn,
+)
+from repro.overlay.join import (
+    JoinReceipt,
+    bootstrap_network,
+    join_adaptive,
+    join_known_f,
+)
+from repro.overlay.maintenance import MaintenanceReport, maintenance_round, refresh_peer
+from repro.overlay.network import LookupResult, Network, PeerState
+from repro.overlay.stats import LookupStats, measure_network, summarize_lookups
+
+__all__ = [
+    "Network",
+    "PeerState",
+    "LookupResult",
+    "JoinReceipt",
+    "join_known_f",
+    "join_adaptive",
+    "bootstrap_network",
+    "MaintenanceReport",
+    "refresh_peer",
+    "maintenance_round",
+    "ChurnConfig",
+    "ChurnEpoch",
+    "run_churn",
+    "drop_long_links",
+    "kill_peers",
+    "LookupStats",
+    "summarize_lookups",
+    "measure_network",
+]

@@ -1,0 +1,185 @@
+"""Churn processes and failure injection.
+
+Two complementary tools for the robustness claims of Section 3.1
+("even in the case of connectivity loss, the routing cost will be at
+worst poly-logarithmic given we have at least one long-range link and
+the neighboring links intact"):
+
+* *static failure injection* on snapshot graphs —
+  :func:`drop_long_links` removes a fraction of long-range edges,
+  :func:`kill_peers` marks a fraction of peers dead (routing then runs
+  with the liveness mask) — the controlled setting of experiment E9;
+* *dynamic churn* on live networks — :func:`run_churn` alternates
+  leave/join/maintenance epochs and measures lookup quality while the
+  population turns over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graph import SmallWorldGraph
+from repro.distributions import Distribution
+from repro.overlay.join import join_known_f
+from repro.overlay.maintenance import maintenance_round
+from repro.overlay.network import Network
+
+__all__ = ["drop_long_links", "kill_peers", "ChurnConfig", "ChurnEpoch", "run_churn"]
+
+
+def drop_long_links(
+    graph: SmallWorldGraph, fraction: float, rng: np.random.Generator
+) -> SmallWorldGraph:
+    """Return a copy of ``graph`` with a random fraction of long links removed.
+
+    Neighbour (ring/interval) edges are untouched — the paper's
+    robustness statement assumes they survive.
+
+    Args:
+        graph: the snapshot overlay.
+        fraction: fraction of long-range edges to delete, in ``[0, 1]``.
+        rng: random source.
+
+    Raises:
+        ValueError: for a fraction outside ``[0, 1]``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must lie in [0, 1], got {fraction}")
+    new_links = []
+    for links in graph.long_links:
+        if len(links) == 0 or fraction == 0.0:
+            new_links.append(links.copy())
+            continue
+        keep = rng.random(len(links)) >= fraction
+        new_links.append(links[keep])
+    return SmallWorldGraph(
+        ids=graph.ids.copy(),
+        normalized_ids=graph.normalized_ids.copy(),
+        long_links=new_links,
+        space=graph.space,
+        normalize=graph.normalize,
+        model=graph.model,
+        cutoff_mass=graph.cutoff_mass,
+    )
+
+
+def kill_peers(
+    graph: SmallWorldGraph, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Return a liveness mask with a random fraction of peers marked dead.
+
+    At least one peer always survives so routing remains well-defined.
+
+    Raises:
+        ValueError: for a fraction outside ``[0, 1)``.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must lie in [0, 1), got {fraction}")
+    alive = np.ones(graph.n, dtype=bool)
+    n_kill = int(round(fraction * graph.n))
+    n_kill = min(n_kill, graph.n - 1)
+    if n_kill > 0:
+        dead = rng.choice(graph.n, size=n_kill, replace=False)
+        alive[dead] = False
+    return alive
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of one churn simulation.
+
+    Attributes:
+        epochs: number of leave/join/measure cycles.
+        leave_fraction: fraction of peers departing per epoch.
+        join_fraction: fraction (of current size) of peers arriving per
+            epoch; equal to ``leave_fraction`` keeps the size stationary.
+        maintenance_fraction: fraction of peers refreshed per epoch
+            (0 disables maintenance — the decay baseline).
+        lookups_per_epoch: lookups measured after each epoch.
+    """
+
+    epochs: int = 10
+    leave_fraction: float = 0.1
+    join_fraction: float = 0.1
+    maintenance_fraction: float = 0.2
+    lookups_per_epoch: int = 100
+
+
+@dataclass
+class ChurnEpoch:
+    """Measurements taken at the end of one churn epoch."""
+
+    epoch: int
+    n_peers: int
+    mean_hops: float
+    success_rate: float
+    dangling_links: int
+    maintenance_hops: int = 0
+    failed_reasons: dict[str, int] = field(default_factory=dict)
+
+
+def run_churn(
+    network: Network,
+    distribution: Distribution,
+    config: ChurnConfig,
+    rng: np.random.Generator,
+) -> list[ChurnEpoch]:
+    """Subject a live network to churn and record per-epoch lookup quality.
+
+    Each epoch: a random ``leave_fraction`` of peers departs silently,
+    ``join_fraction`` fresh peers join via the known-``f`` protocol,
+    ``maintenance_fraction`` of peers refresh their links, and
+    ``lookups_per_epoch`` random lookups are measured.
+
+    Raises:
+        ValueError: if the network starts empty.
+    """
+    if network.n == 0:
+        raise ValueError("cannot churn an empty network")
+    history = []
+    for epoch in range(config.epochs):
+        ids = network.ids_array()
+        n_leave = min(int(round(config.leave_fraction * len(ids))), len(ids) - 2)
+        if n_leave > 0:
+            leavers = rng.choice(len(ids), size=n_leave, replace=False)
+            for idx in leavers:
+                network.remove_peer(float(ids[idx]))
+        n_join = int(round(config.join_fraction * network.n))
+        for _ in range(n_join):
+            peer_id = float(distribution.sample(1, rng)[0])
+            while peer_id in network:
+                peer_id = float(distribution.sample(1, rng)[0])
+            join_known_f(network, distribution, rng, peer_id=peer_id)
+        maintenance_hops = 0
+        if config.maintenance_fraction > 0.0 and network.n > 1:
+            report = maintenance_round(
+                network, rng, distribution=distribution,
+                fraction=config.maintenance_fraction,
+            )
+            maintenance_hops = report.lookup_hops
+        hops = []
+        successes = 0
+        reasons: dict[str, int] = {}
+        for _ in range(config.lookups_per_epoch):
+            source = network.random_peer(rng)
+            target = network.random_peer(rng)
+            result = network.route(source, target)
+            hops.append(result.hops)
+            if result.success:
+                successes += 1
+            else:
+                reasons[result.reason] = reasons.get(result.reason, 0) + 1
+        history.append(
+            ChurnEpoch(
+                epoch=epoch,
+                n_peers=network.n,
+                mean_hops=float(np.mean(hops)) if hops else float("nan"),
+                success_rate=successes / max(1, config.lookups_per_epoch),
+                dangling_links=network.dangling_link_count(),
+                maintenance_hops=maintenance_hops,
+                failed_reasons=reasons,
+            )
+        )
+    return history

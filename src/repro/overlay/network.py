@@ -1,0 +1,249 @@
+"""A live, mutable overlay network.
+
+Where :class:`~repro.core.SmallWorldGraph` is a *snapshot* built offline,
+:class:`Network` models the deployed system of Section 4.2: peers join
+and leave over time, immediate-neighbour links are always kept correct
+("both u and v correct their routing tables of the immediate neighboring
+links"), and each peer owns an explicit set of long-range links that may
+*dangle* after churn until maintenance repairs them.
+
+Peers are addressed by identifier (a float in ``[0, 1)``), not by index:
+indices are meaningless in a population that changes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.keyspace import IntervalSpace, KeySpace, nearest_index
+
+__all__ = ["PeerState", "LookupResult", "Network"]
+
+
+@dataclass
+class PeerState:
+    """Mutable routing state of one live peer.
+
+    Attributes:
+        peer_id: the peer's identifier.
+        long_links: identifiers of long-range neighbours.  A link whose
+            target has departed is *dangling*: routing skips it and
+            maintenance replaces it.
+    """
+
+    peer_id: float
+    long_links: list[float] = field(default_factory=list)
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one lookup routed over the live network.
+
+    Mirrors :class:`repro.core.RouteResult` but identifies peers by id.
+    """
+
+    success: bool
+    hops: int
+    neighbor_hops: int
+    long_hops: int
+    path: list[float] = field(default_factory=list)
+    reason: str = "arrived"
+    target_key: float = 0.0
+    owner_id: float = -1.0
+    dangling_links_seen: int = 0
+
+
+class Network:
+    """A dynamic overlay with implicit ring links and explicit long links.
+
+    Args:
+        space: key-space geometry; the interval matches the paper's
+            proofs, the ring matches deployed DHT practice.
+
+    The sorted peer list gives every peer its immediate neighbours "for
+    free" (they are maintained by the join/leave splice, exactly as the
+    paper's join protocol prescribes), so only long links carry state.
+    """
+
+    def __init__(self, space: KeySpace | None = None):
+        self.space = space or IntervalSpace()
+        self._sorted_ids: list[float] = []
+        self._peers: dict[float, PeerState] = {}
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of live peers."""
+        return len(self._sorted_ids)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __contains__(self, peer_id: float) -> bool:
+        return peer_id in self._peers
+
+    def ids_array(self) -> np.ndarray:
+        """Return the live identifiers as a sorted numpy array."""
+        return np.asarray(self._sorted_ids, dtype=float)
+
+    def peer(self, peer_id: float) -> PeerState:
+        """Return the state of a live peer.
+
+        Raises:
+            KeyError: if the peer is not live.
+        """
+        return self._peers[peer_id]
+
+    def add_peer(self, peer_id: float) -> PeerState:
+        """Insert a peer into the population (low-level splice).
+
+        Raises:
+            ValueError: for an out-of-range or duplicate identifier.
+        """
+        if not 0.0 <= peer_id < 1.0:
+            raise ValueError(f"identifier {peer_id!r} outside [0, 1)")
+        if peer_id in self._peers:
+            raise ValueError(f"peer {peer_id!r} already present")
+        bisect.insort(self._sorted_ids, peer_id)
+        state = PeerState(peer_id=peer_id)
+        self._peers[peer_id] = state
+        return state
+
+    def remove_peer(self, peer_id: float) -> None:
+        """Remove a peer (it departs without notice; links to it dangle).
+
+        Raises:
+            KeyError: if the peer is not live.
+        """
+        if peer_id not in self._peers:
+            raise KeyError(f"peer {peer_id!r} not present")
+        idx = bisect.bisect_left(self._sorted_ids, peer_id)
+        del self._sorted_ids[idx]
+        del self._peers[peer_id]
+
+    # ------------------------------------------------------------------
+    # neighbourhood queries
+    # ------------------------------------------------------------------
+    def neighbors_of(self, peer_id: float) -> tuple[float, ...]:
+        """Return the live ring/interval neighbours of ``peer_id``."""
+        n = self.n
+        idx = bisect.bisect_left(self._sorted_ids, peer_id)
+        if n <= 1:
+            return ()
+        if self.space.is_ring:
+            left = self._sorted_ids[(idx - 1) % n]
+            right = self._sorted_ids[(idx + 1) % n]
+            return (left, right) if left != right else (left,)
+        out = []
+        if idx > 0:
+            out.append(self._sorted_ids[idx - 1])
+        if idx < n - 1:
+            out.append(self._sorted_ids[idx + 1])
+        return tuple(out)
+
+    def owner_of(self, key: float) -> float:
+        """Return the live peer closest to ``key``.
+
+        Raises:
+            ValueError: on an empty network.
+        """
+        if self.n == 0:
+            raise ValueError("network has no peers")
+        ids = self.ids_array()
+        return float(ids[nearest_index(ids, key, self.space)])
+
+    def random_peer(self, rng: np.random.Generator) -> float:
+        """Return a uniformly random live peer identifier.
+
+        Raises:
+            ValueError: on an empty network.
+        """
+        if self.n == 0:
+            raise ValueError("network has no peers")
+        return self._sorted_ids[int(rng.integers(self.n))]
+
+    def dangling_link_count(self) -> int:
+        """Return the number of long links pointing at departed peers."""
+        return sum(
+            1
+            for state in self._peers.values()
+            for target in state.long_links
+            if target not in self._peers
+        )
+
+    def mean_long_degree(self) -> float:
+        """Return the mean number of (live or dangling) long links per peer."""
+        if self.n == 0:
+            return 0.0
+        return sum(len(s.long_links) for s in self._peers.values()) / self.n
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(
+        self, source_id: float, key: float, max_hops: int | None = None
+    ) -> LookupResult:
+        """Greedy-route a lookup for ``key`` starting at live peer ``source_id``.
+
+        Dangling long links are skipped (and counted); ring neighbours
+        are always live by construction, so the walk reaches the owner
+        unless the hop budget runs out.
+
+        Raises:
+            KeyError: if the source peer is not live.
+        """
+        if source_id not in self._peers:
+            raise KeyError(f"source peer {source_id!r} not present")
+        if max_hops is None:
+            max_hops = self.n
+        owner = self.owner_of(key)
+        current = source_id
+        current_dist = self.space.distance(current, key)
+        path = [current]
+        neighbor_hops = 0
+        long_hops = 0
+        dangling = 0
+        while current != owner:
+            if len(path) - 1 >= max_hops:
+                return LookupResult(
+                    False, len(path) - 1, neighbor_hops, long_hops, path,
+                    "max_hops", key, owner, dangling,
+                )
+            ring = self.neighbors_of(current)
+            best = None
+            best_dist = current_dist
+            best_is_long = False
+            for cand in ring:
+                dist = self.space.distance(cand, key)
+                if dist < best_dist:
+                    best, best_dist, best_is_long = cand, dist, False
+            for cand in self._peers[current].long_links:
+                if cand not in self._peers:
+                    dangling += 1
+                    continue
+                dist = self.space.distance(cand, key)
+                if dist < best_dist:
+                    best, best_dist, best_is_long = cand, dist, True
+            if best is None:
+                return LookupResult(
+                    False, len(path) - 1, neighbor_hops, long_hops, path,
+                    "stuck", key, owner, dangling,
+                )
+            current, current_dist = best, best_dist
+            path.append(current)
+            if best_is_long:
+                long_hops += 1
+            else:
+                neighbor_hops += 1
+        return LookupResult(
+            True, len(path) - 1, neighbor_hops, long_hops, path,
+            "arrived", key, owner, dangling,
+        )
+
+    def __repr__(self) -> str:
+        return f"Network(n={self.n}, space={self.space.name!r})"

@@ -1,0 +1,88 @@
+"""Lookup-quality measurement helpers shared by experiments and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.overlay.network import LookupResult, Network
+
+__all__ = ["LookupStats", "summarize_lookups", "measure_network"]
+
+
+@dataclass
+class LookupStats:
+    """Summary statistics over a batch of lookups.
+
+    Attributes:
+        n: number of lookups.
+        mean_hops: mean hop count (successful and failed alike).
+        p95_hops: 95th-percentile hop count.
+        max_hops: worst observed hop count.
+        success_rate: fraction of lookups that reached the owner.
+        mean_long_hops: mean hops taken over long-range links.
+        mean_neighbor_hops: mean hops taken over ring/interval links.
+    """
+
+    n: int
+    mean_hops: float
+    p95_hops: float
+    max_hops: int
+    success_rate: float
+    mean_long_hops: float
+    mean_neighbor_hops: float
+
+
+def summarize_lookups(results) -> LookupStats:
+    """Aggregate a list of route/lookup results into :class:`LookupStats`.
+
+    Works for both :class:`repro.core.RouteResult` (snapshot graphs) and
+    :class:`repro.overlay.LookupResult` (live networks) — the fields
+    relied upon are shared.
+
+    Raises:
+        ValueError: on an empty result list.
+    """
+    if not results:
+        raise ValueError("no results to summarise")
+    hops = np.asarray([r.hops for r in results], dtype=float)
+    return LookupStats(
+        n=len(results),
+        mean_hops=float(hops.mean()),
+        p95_hops=float(np.percentile(hops, 95)),
+        max_hops=int(hops.max()),
+        success_rate=float(np.mean([r.success for r in results])),
+        mean_long_hops=float(np.mean([r.long_hops for r in results])),
+        mean_neighbor_hops=float(np.mean([r.neighbor_hops for r in results])),
+    )
+
+
+def measure_network(
+    network: Network,
+    n_lookups: int,
+    rng: np.random.Generator,
+    targets: str = "peers",
+) -> LookupStats:
+    """Run random lookups over a live network and summarise them.
+
+    Args:
+        network: the overlay to measure.
+        n_lookups: how many lookups to route.
+        rng: random source.
+        targets: ``"peers"`` looks up existing peer identifiers;
+            ``"uniform"`` looks up fresh uniform keys.
+
+    Raises:
+        ValueError: for an unknown target mode or an empty network.
+    """
+    if targets not in ("peers", "uniform"):
+        raise ValueError(f"unknown targets mode {targets!r}")
+    if network.n == 0:
+        raise ValueError("cannot measure an empty network")
+    results: list[LookupResult] = []
+    for _ in range(n_lookups):
+        source = network.random_peer(rng)
+        key = network.random_peer(rng) if targets == "peers" else float(rng.random())
+        results.append(network.route(source, key))
+    return summarize_lookups(results)

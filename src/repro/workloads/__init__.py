@@ -1,0 +1,19 @@
+"""Workload generation: skewed key corpora and query streams."""
+
+from repro.workloads.keys import (
+    corpus_from_distribution,
+    hotspot_corpus,
+    timestamp_corpus,
+    zipf_corpus,
+)
+from repro.workloads.queries import point_queries, range_queries, zipf_point_queries
+
+__all__ = [
+    "corpus_from_distribution",
+    "zipf_corpus",
+    "timestamp_corpus",
+    "hotspot_corpus",
+    "point_queries",
+    "zipf_point_queries",
+    "range_queries",
+]

@@ -1,0 +1,122 @@
+"""Key-corpus generators: the data-oriented workloads of the paper's intro.
+
+The motivating applications ("complex queries or information retrieval")
+store *semantically meaningful* keys — ordered, non-hashed, skewed.  The
+generators here produce such corpora with controlled skew:
+
+* :func:`corpus_from_distribution` — i.i.d. keys from any analytic
+  distribution;
+* :func:`zipf_corpus` — a dictionary of ordered items with Zipfian item
+  frequencies (document/term identifiers);
+* :func:`timestamp_corpus` — recency-skewed event timestamps mapped to
+  ``[0, 1)`` (newest keys dominate);
+* :func:`hotspot_corpus` — a mixture of a uniform base load and one or
+  more concentrated hot regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import (
+    Distribution,
+    Mixture,
+    TruncatedExponential,
+    TruncatedNormal,
+    Uniform,
+    zipf_distribution,
+)
+
+__all__ = [
+    "corpus_from_distribution",
+    "zipf_corpus",
+    "timestamp_corpus",
+    "hotspot_corpus",
+]
+
+
+def corpus_from_distribution(
+    distribution: Distribution, n_keys: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``n_keys`` i.i.d. keys from ``distribution``, sorted.
+
+    Raises:
+        ValueError: for negative ``n_keys``.
+    """
+    if n_keys < 0:
+        raise ValueError(f"n_keys must be >= 0, got {n_keys}")
+    return np.sort(distribution.sample(n_keys, rng))
+
+
+def zipf_corpus(
+    n_keys: int,
+    rng: np.random.Generator,
+    n_items: int = 1024,
+    exponent: float = 1.0,
+) -> np.ndarray:
+    """Draw keys for an ordered item dictionary with Zipfian popularity.
+
+    Item ``i`` occupies the cell ``[i/n_items, (i+1)/n_items)``; keys are
+    uniform within their item's cell so distinct occurrences of the same
+    item remain distinct keys.
+
+    Raises:
+        ValueError: for invalid sizes.
+    """
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    dist = zipf_distribution(n_items=n_items, exponent=exponent)
+    return corpus_from_distribution(dist, n_keys, rng)
+
+
+def timestamp_corpus(
+    n_keys: int, rng: np.random.Generator, recency_rate: float = 8.0
+) -> np.ndarray:
+    """Draw recency-skewed "timestamp" keys on ``[0, 1)``.
+
+    Key ``1 - x`` with ``x ~ TruncExp(recency_rate)``: mass piles up near
+    1.0 ("now"), the classic time-series insertion pattern.
+
+    Raises:
+        ValueError: for negative ``n_keys``.
+    """
+    if n_keys < 0:
+        raise ValueError(f"n_keys must be >= 0, got {n_keys}")
+    ages = TruncatedExponential(rate=recency_rate).sample(n_keys, rng)
+    keys = 1.0 - ages
+    return np.sort(np.clip(keys, 0.0, np.nextafter(1.0, 0.0)))
+
+
+def hotspot_corpus(
+    n_keys: int,
+    rng: np.random.Generator,
+    hotspots: tuple[float, ...] = (0.3, 0.7),
+    hotspot_sigma: float = 0.02,
+    hotspot_weight: float = 0.8,
+) -> np.ndarray:
+    """Draw keys that are mostly concentrated in narrow hot regions.
+
+    Args:
+        n_keys: corpus size.
+        rng: random source.
+        hotspots: centres of the hot regions.
+        hotspot_sigma: width of each hot region.
+        hotspot_weight: total fraction of keys in hot regions (the rest
+            are uniform background).
+
+    Raises:
+        ValueError: for invalid weights or an empty hotspot list.
+    """
+    if not hotspots:
+        raise ValueError("need at least one hotspot")
+    if not 0.0 <= hotspot_weight <= 1.0:
+        raise ValueError(f"hotspot_weight must lie in [0, 1], got {hotspot_weight}")
+    components: list[Distribution] = [Uniform()]
+    weights = [1.0 - hotspot_weight]
+    for centre in hotspots:
+        components.append(TruncatedNormal(mu=centre, sigma=hotspot_sigma))
+        weights.append(hotspot_weight / len(hotspots))
+    if weights[0] == 0.0:
+        components, weights = components[1:], weights[1:]
+    mixture = Mixture(components, weights)
+    return corpus_from_distribution(mixture, n_keys, rng)

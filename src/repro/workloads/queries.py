@@ -1,0 +1,92 @@
+"""Query workload generators.
+
+Lookup and range workloads over a key corpus, with independently
+controllable *popularity* skew (which keys are asked for) — distinct
+from the *storage* skew of the corpus itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["point_queries", "zipf_point_queries", "range_queries"]
+
+
+def point_queries(
+    keys: np.ndarray, n_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw point lookups uniformly over the stored keys.
+
+    Raises:
+        ValueError: on an empty corpus or negative count.
+    """
+    keys = np.asarray(keys, dtype=float)
+    if len(keys) == 0:
+        raise ValueError("need at least one key")
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    return keys[rng.integers(0, len(keys), size=n_queries)]
+
+
+def zipf_point_queries(
+    keys: np.ndarray,
+    n_queries: int,
+    rng: np.random.Generator,
+    exponent: float = 1.0,
+) -> np.ndarray:
+    """Draw point lookups with Zipfian popularity over the *sorted* corpus.
+
+    The rank-``r`` key (ascending order) is queried with probability
+    ``∝ r^(−exponent)`` — hot keys at the low end of the key space, the
+    usual shape for popularity-skewed read workloads.
+
+    Raises:
+        ValueError: on an empty corpus, negative count or exponent.
+    """
+    keys = np.sort(np.asarray(keys, dtype=float))
+    if len(keys) == 0:
+        raise ValueError("need at least one key")
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    ranks = np.arange(1, len(keys) + 1, dtype=float)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    picks = rng.choice(len(keys), size=n_queries, p=probs)
+    return keys[picks]
+
+
+def range_queries(
+    n_queries: int,
+    rng: np.random.Generator,
+    mean_width: float = 0.01,
+    center_keys: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw ``(lo, hi)`` range queries, optionally centred on stored keys.
+
+    Range *semantic* queries are the reason order-preserving overlays
+    exist (paper Section 1); widths are exponential around
+    ``mean_width``.
+
+    Returns:
+        Array of shape ``(n_queries, 2)`` with ``lo < hi`` in ``[0, 1]``.
+
+    Raises:
+        ValueError: for a non-positive width or negative count.
+    """
+    if n_queries < 0:
+        raise ValueError(f"n_queries must be >= 0, got {n_queries}")
+    if mean_width <= 0:
+        raise ValueError(f"mean_width must be > 0, got {mean_width}")
+    if center_keys is not None and len(center_keys):
+        centers = np.asarray(center_keys, dtype=float)[
+            rng.integers(0, len(center_keys), size=n_queries)
+        ]
+    else:
+        centers = rng.random(n_queries)
+    widths = rng.exponential(mean_width, size=n_queries)
+    lo = np.clip(centers - 0.5 * widths, 0.0, 1.0)
+    hi = np.clip(centers + 0.5 * widths, 0.0, 1.0)
+    hi = np.maximum(hi, np.nextafter(lo, 1.0))
+    return np.stack([lo, hi], axis=1)

@@ -1,0 +1,48 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Keep property-based tests fast and deterministic in CI-like runs.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> np.random.Generator:
+    """A session-wide generator for expensive shared fixtures."""
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def uniform_graph(session_rng):
+    """A medium uniform-model graph shared by read-only tests."""
+    from repro.core import build_uniform_model
+
+    return build_uniform_model(n=1024, rng=session_rng)
+
+
+@pytest.fixture(scope="session")
+def skewed_graph(session_rng):
+    """A medium skewed-model graph (power-law) shared by read-only tests."""
+    from repro.core import build_skewed_model
+    from repro.distributions import PowerLaw
+
+    return build_skewed_model(
+        PowerLaw(alpha=1.8, shift=1e-4), n=1024, rng=session_rng
+    )

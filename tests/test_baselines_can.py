@@ -1,0 +1,109 @@
+"""Unit tests for the CAN zone-routing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CANOverlay, Zone, measure_overlay
+from repro.distributions import PowerLaw
+
+
+class TestZone:
+    def test_contains(self):
+        zone = Zone(np.array([0.0, 0.0]), np.array([0.5, 0.5]))
+        assert zone.contains(np.array([0.25, 0.25]))
+        assert not zone.contains(np.array([0.75, 0.25]))
+        assert not zone.contains(np.array([0.5, 0.25]))  # hi is exclusive
+
+    def test_split_halves_volume(self):
+        zone = Zone(np.array([0.0, 0.0]), np.array([1.0, 1.0]), depth=0)
+        left, right = zone.split()
+        assert left.volume() == pytest.approx(0.5)
+        assert right.volume() == pytest.approx(0.5)
+        assert left.depth == right.depth == 1
+
+    def test_split_alternates_dimensions(self):
+        zone = Zone(np.array([0.0, 0.0]), np.array([1.0, 1.0]), depth=1)
+        left, right = zone.split()  # depth 1 -> split along dim 1
+        assert left.hi[1] == pytest.approx(0.5)
+        assert left.hi[0] == pytest.approx(1.0)
+
+
+class TestConstruction:
+    def test_one_zone_per_peer(self, rng):
+        can = CANOverlay(rng.random(64), dims=2)
+        assert can.n == 64
+
+    def test_zones_partition_space(self, rng):
+        can = CANOverlay(rng.random(128), dims=2)
+        assert float(can.zone_volumes().sum()) == pytest.approx(1.0)
+
+    def test_every_point_locatable(self, rng):
+        can = CANOverlay(rng.random(64), dims=2)
+        for _ in range(50):
+            point = rng.random(2)
+            idx = can.zone_of_point(point)
+            assert can.zones[idx].contains(point)
+
+    def test_neighbors_symmetric(self, rng):
+        can = CANOverlay(rng.random(64), dims=2)
+        for i in range(can.n):
+            for j in can.neighbors[i]:
+                assert i in set(can.neighbors[int(j)].tolist())
+
+    def test_neighbors_nonempty(self, rng):
+        can = CANOverlay(rng.random(64), dims=2)
+        for i in range(can.n):
+            assert len(can.neighbors[i]) >= 1
+
+    def test_skewed_keys_make_uneven_zones(self, rng):
+        skewed = PowerLaw(alpha=2.0, shift=1e-4).sample(256, rng)
+        can = CANOverlay(skewed, dims=2)
+        volumes = can.zone_volumes()
+        assert volumes.max() / volumes.min() > 16
+
+    def test_one_dimensional_can(self, rng):
+        can = CANOverlay(rng.random(32), dims=1)
+        stats = measure_overlay(can, 50, rng)
+        assert stats.success_rate == 1.0
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            CANOverlay([], dims=2)
+        with pytest.raises(ValueError):
+            CANOverlay([0.5], dims=0)
+
+
+class TestRouting:
+    def test_routes_succeed(self, rng):
+        can = CANOverlay(rng.random(128), dims=2)
+        stats = measure_overlay(can, 150, rng)
+        assert stats.success_rate == 1.0
+
+    def test_hops_polynomial_not_logarithmic(self, rng):
+        # CAN hop counts grow like N^(1/d): measurably super-logarithmic.
+        small = CANOverlay(rng.random(64), dims=2)
+        large = CANOverlay(rng.random(1024), dims=2)
+        small_hops = measure_overlay(small, 150, rng).mean_hops
+        large_hops = measure_overlay(large, 150, rng).mean_hops
+        # 16x more peers: log2 would add ~4 hops; sqrt multiplies by ~4.
+        assert large_hops > small_hops * 2.0
+
+    def test_owner_zone_contains_key_point(self, rng):
+        can = CANOverlay(rng.random(64), dims=2)
+        from repro.keyspace import morton_spread
+
+        for key in (0.1, 0.42, 0.9):
+            owner = can.owner_of(key)
+            assert can.zones[owner].contains(np.asarray(morton_spread(key, 2)))
+
+    def test_invalid_source(self, rng):
+        can = CANOverlay(rng.random(16), dims=2)
+        with pytest.raises(ValueError):
+            can.route(99, 0.5)
+
+    def test_table_sizes_constant_scale(self, rng):
+        # CAN state is O(d), independent of N: means stay in single digits.
+        small = CANOverlay(rng.random(64), dims=2).mean_table_size()
+        large = CANOverlay(rng.random(512), dims=2).mean_table_size()
+        assert large < small * 2
+        assert large < 10

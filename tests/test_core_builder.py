@@ -1,0 +1,180 @@
+"""Unit tests for the three model builders and GraphConfig."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphConfig,
+    build_from_positions,
+    build_naive_model,
+    build_skewed_model,
+    build_uniform_model,
+    default_out_degree,
+)
+from repro.distributions import PowerLaw, Uniform
+from repro.keyspace import RingSpace
+
+
+class TestGraphConfig:
+    def test_default_out_degree_is_log2(self):
+        assert GraphConfig().resolve_out_degree(1024) == 10
+
+    def test_explicit_out_degree(self):
+        assert GraphConfig(out_degree=3).resolve_out_degree(1024) == 3
+
+    def test_default_cutoff_is_inverse_n(self):
+        assert GraphConfig().resolve_cutoff(500) == pytest.approx(1 / 500)
+
+    def test_explicit_cutoff(self):
+        assert GraphConfig(cutoff_mass=0.01).resolve_cutoff(500) == 0.01
+
+    def test_zero_cutoff_allowed(self):
+        assert GraphConfig(cutoff_mass=0.0).resolve_cutoff(500) == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            GraphConfig(out_degree=-1).resolve_out_degree(10)
+        with pytest.raises(ValueError):
+            GraphConfig(cutoff_mass=-0.1).resolve_cutoff(10)
+
+    def test_with_creates_modified_copy(self):
+        base = GraphConfig()
+        changed = base.with_(out_degree=7)
+        assert changed.out_degree == 7
+        assert base.out_degree is None
+
+
+class TestBuildUniform:
+    def test_basic_shape(self, rng):
+        graph = build_uniform_model(n=128, rng=rng)
+        assert graph.n == 128
+        assert graph.model == "uniform"
+        assert np.allclose(graph.ids, graph.normalized_ids)
+
+    def test_out_degree_default(self, rng):
+        graph = build_uniform_model(n=256, rng=rng)
+        mean_links = np.mean([len(l) for l in graph.long_links])
+        assert mean_links == pytest.approx(default_out_degree(256), abs=0.5)
+
+    def test_accepts_explicit_ids(self, rng):
+        ids = np.array([0.9, 0.1, 0.5])  # unsorted on purpose
+        graph = build_uniform_model(rng=rng, ids=ids)
+        assert np.allclose(graph.ids, [0.1, 0.5, 0.9])
+
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            build_uniform_model(n=16)
+
+    def test_requires_n_or_ids(self, rng):
+        with pytest.raises(ValueError):
+            build_uniform_model(rng=rng)
+
+    def test_ring_config(self, rng):
+        graph = build_uniform_model(n=64, rng=rng, config=GraphConfig(space=RingSpace()))
+        assert graph.space.is_ring
+
+
+class TestBuildSkewed:
+    def test_ids_follow_distribution(self, rng):
+        dist = PowerLaw(alpha=2.0, shift=1e-3)
+        graph = build_skewed_model(dist, n=2000, rng=rng)
+        # Strong concentration near 0 under this power law.
+        assert np.mean(graph.ids < 0.01) > 0.4
+
+    def test_normalized_ids_are_cdf(self, rng):
+        dist = PowerLaw(alpha=1.5, shift=1e-2)
+        graph = build_skewed_model(dist, n=128, rng=rng)
+        assert np.allclose(graph.normalized_ids, dist.cdf(graph.ids))
+
+    def test_normalized_ids_near_uniform(self, rng):
+        dist = PowerLaw(alpha=1.5, shift=1e-3)
+        graph = build_skewed_model(dist, n=2000, rng=rng)
+        # F(ids) should be ~Uniform[0,1): mean 0.5, KS small.
+        assert np.mean(graph.normalized_ids) == pytest.approx(0.5, abs=0.05)
+
+    def test_normalize_callable_is_cdf(self, rng):
+        dist = PowerLaw(alpha=1.5, shift=1e-2)
+        graph = build_skewed_model(dist, n=64, rng=rng)
+        assert graph.normalized_key(0.3) == pytest.approx(float(dist.cdf(0.3)))
+
+    def test_uniform_distribution_degenerates_to_model1(self, rng):
+        graph = build_skewed_model(Uniform(), n=128, rng=rng)
+        assert np.allclose(graph.ids, graph.normalized_ids)
+
+    def test_cutoff_in_mass_not_distance(self, rng):
+        dist = PowerLaw(alpha=2.0, shift=1e-4)
+        graph = build_skewed_model(dist, n=512, rng=rng)
+        # In the dense region, raw distances far below 1/N must appear
+        # (the cutoff is on mass, not distance).
+        raw_lengths = graph.long_link_lengths(normalized=False)
+        assert raw_lengths.min() < 1.0 / 512
+        # But normalised lengths never violate the mass cutoff.
+        norm_lengths = graph.long_link_lengths(normalized=True)
+        assert norm_lengths.min() >= graph.cutoff_mass - 1e-12
+
+    def test_requires_inputs(self, rng):
+        with pytest.raises(ValueError):
+            build_skewed_model(Uniform(), rng=rng)
+        with pytest.raises(ValueError):
+            build_skewed_model(Uniform(), n=16)
+
+
+class TestBuildNaive:
+    def test_normalized_equals_raw(self, rng):
+        dist = PowerLaw(alpha=1.5, shift=1e-3)
+        graph = build_naive_model(dist, n=128, rng=rng)
+        assert np.allclose(graph.ids, graph.normalized_ids)
+        assert graph.model == "naive"
+
+    def test_same_population_different_links(self, rng):
+        dist = PowerLaw(alpha=1.8, shift=1e-4)
+        ids = np.sort(dist.sample(512, rng))
+        skewed = build_skewed_model(dist, rng=rng, ids=ids)
+        naive = build_naive_model(dist, rng=rng, ids=ids)
+        assert np.allclose(skewed.ids, naive.ids)
+        # The naive criterion starves the dense region of in-cluster links:
+        # its raw link lengths are much longer on average.
+        assert (
+            np.median(naive.long_link_lengths(normalized=False))
+            > 5 * np.median(skewed.long_link_lengths(normalized=False))
+        )
+
+
+class TestBuildFromPositions:
+    def test_custom_model_label(self, rng):
+        ids = np.sort(rng.random(32))
+        graph = build_from_positions(ids, ids.copy(), rng, model="mine")
+        assert graph.model == "mine"
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            build_from_positions(np.array([]), np.array([]), rng)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            build_from_positions(np.array([0.1, 0.2]), np.array([0.1]), rng)
+
+    def test_bidirectional_symmetrizes(self, rng):
+        ids = np.sort(rng.random(128))
+        graph = build_from_positions(
+            ids, ids.copy(), rng, config=GraphConfig(bidirectional=True)
+        )
+        # Every long link must appear in both directions.
+        link_sets = [set(l.tolist()) for l in graph.long_links]
+        for i, targets in enumerate(link_sets):
+            for j in targets:
+                assert i in link_sets[j]
+
+    def test_exact_sampler_config(self, rng):
+        ids = np.sort(rng.random(64))
+        graph = build_from_positions(
+            ids, ids.copy(), rng, config=GraphConfig(sampler="exact")
+        )
+        assert graph.total_long_links() > 0
+
+    def test_zero_out_degree(self, rng):
+        ids = np.sort(rng.random(32))
+        graph = build_from_positions(
+            ids, ids.copy(), rng, config=GraphConfig(out_degree=0)
+        )
+        assert graph.total_long_links() == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the classic Kleinberg lattice models."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_kleinberg_ring, build_kleinberg_torus
+
+
+class TestKleinbergRing:
+    def test_shape(self, rng):
+        lattice = build_kleinberg_ring(100, r=1.0, q=2, rng=rng)
+        assert lattice.n == 100
+        assert len(lattice.long_links) == 100
+
+    def test_lattice_distance_wraps(self, rng):
+        lattice = build_kleinberg_ring(100, r=1.0, q=1, rng=rng)
+        assert lattice.lattice_distance(5, 95) == 10
+        assert lattice.lattice_distance(0, 50) == 50
+
+    def test_route_reaches_target(self, rng):
+        lattice = build_kleinberg_ring(256, r=1.0, q=2, rng=rng)
+        for _ in range(20):
+            s, t = int(rng.integers(256)), int(rng.integers(256))
+            hops = lattice.route(s, t)
+            assert hops >= 0
+            assert hops <= 256
+
+    def test_route_self_is_zero(self, rng):
+        lattice = build_kleinberg_ring(64, r=1.0, q=1, rng=rng)
+        assert lattice.route(10, 10) == 0
+
+    def test_zero_q_routes_on_lattice_only(self, rng):
+        lattice = build_kleinberg_ring(64, r=1.0, q=0, rng=rng)
+        assert lattice.route(0, 32) == 32
+
+    def test_long_links_bias_matches_exponent(self, rng):
+        # Higher r concentrates links at short range.
+        near = build_kleinberg_ring(512, r=2.5, q=4, rng=rng)
+        far = build_kleinberg_ring(512, r=0.0, q=4, rng=rng)
+
+        def mean_link_distance(lat):
+            ds = [
+                lat.lattice_distance(u, int(v))
+                for u in range(lat.n)
+                for v in lat.long_links[u]
+            ]
+            return np.mean(ds)
+
+        assert mean_link_distance(near) < mean_link_distance(far) / 3
+
+    def test_r_one_beats_r_zero_and_r_three(self, rng):
+        # The navigability U-curve at moderate size.
+        def mean_hops(r):
+            lattice = build_kleinberg_ring(2048, r=r, q=1, rng=rng)
+            total = 0
+            for _ in range(120):
+                s, t = int(rng.integers(2048)), int(rng.integers(2048))
+                total += lattice.route(s, t)
+            return total / 120
+
+        h0, h1, h3 = mean_hops(0.0), mean_hops(1.0), mean_hops(3.0)
+        assert h1 < h3
+        assert h1 < 1.6 * h0  # r=1 competitive with r=0 at this size
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            build_kleinberg_ring(2, r=1.0, q=1, rng=rng)
+        with pytest.raises(ValueError):
+            build_kleinberg_ring(10, r=-1.0, q=1, rng=rng)
+        with pytest.raises(ValueError):
+            build_kleinberg_ring(10, r=1.0, q=-1, rng=rng)
+
+
+class TestKleinbergTorus:
+    def test_shape(self, rng):
+        lattice = build_kleinberg_torus(8, r=2.0, q=1, rng=rng)
+        assert lattice.n == 64
+
+    def test_manhattan_torus_distance(self, rng):
+        lattice = build_kleinberg_torus(8, r=2.0, q=1, rng=rng)
+        # (0,0) to (7,7): wraps to (1,1) -> distance 2.
+        assert lattice.lattice_distance(0, 7 * 8 + 7) == 2
+        # (0,0) to (4,4): 4+4 = 8.
+        assert lattice.lattice_distance(0, 4 * 8 + 4) == 8
+
+    def test_route_reaches_target(self, rng):
+        lattice = build_kleinberg_torus(12, r=2.0, q=1, rng=rng)
+        for _ in range(20):
+            s, t = int(rng.integers(144)), int(rng.integers(144))
+            hops = lattice.route(s, t)
+            assert 0 <= hops <= 144
+
+    def test_zero_q_is_pure_lattice(self, rng):
+        lattice = build_kleinberg_torus(6, r=2.0, q=0, rng=rng)
+        # (0,0) -> (3,3) needs exactly 6 lattice steps.
+        assert lattice.route(0, 3 * 6 + 3) == 6
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            build_kleinberg_torus(2, r=2.0, q=1, rng=rng)
+        with pytest.raises(ValueError):
+            build_kleinberg_torus(8, r=-0.1, q=1, rng=rng)

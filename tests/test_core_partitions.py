@@ -1,0 +1,110 @@
+"""Unit tests for doubling-partition bookkeeping (Theorem 1 internals)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    advance_probability_bound,
+    advance_stats,
+    build_uniform_model,
+    greedy_route,
+    partition_hops_bound,
+    partition_index,
+    sample_routes,
+    trace_partitions,
+)
+
+
+class TestPartitionIndex:
+    def test_within_cell_is_zero(self):
+        assert partition_index(0.0, 1024) == 0
+        assert partition_index(2**-11, 1024) == 0
+
+    def test_first_partition(self):
+        # m = 10 for n = 1024; A_1 covers [2^-10, 2^-9).
+        assert partition_index(2**-10, 1024) == 1
+        assert partition_index(1.5 * 2**-10, 1024) == 1
+
+    def test_boundaries(self):
+        m = 10
+        for j in range(1, m + 1):
+            lo = 2.0 ** (j - 1 - m)
+            assert partition_index(lo, 1024) == j
+            hi = 2.0 ** (j - m) * 0.999
+            assert partition_index(hi, 1024) == j
+
+    def test_top_partition(self):
+        assert partition_index(0.75, 1024) == 10
+        assert partition_index(0.5, 1024) == 10
+
+    def test_clamped_at_max(self):
+        assert partition_index(1.0, 1024) == 10
+
+    def test_non_power_of_two(self):
+        # m = ceil(log2(1000)) = 10; 0.4 lies in [0.25, 0.5) = A_9.
+        assert partition_index(0.4, 1000) == 9
+        assert partition_index(0.6, 1000) == 10
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            partition_index(-0.1, 100)
+        with pytest.raises(ValueError):
+            partition_index(0.1, 1)
+
+    def test_monotone_in_distance(self):
+        distances = np.linspace(1e-4, 0.999, 200)
+        indices = [partition_index(float(d), 4096) for d in distances]
+        assert all(a <= b for a, b in zip(indices, indices[1:]))
+
+
+class TestTracePartitions:
+    def test_trace_length_matches_path(self, uniform_graph, rng):
+        result = greedy_route(uniform_graph, 5, 0.87)
+        trace = trace_partitions(uniform_graph, result)
+        assert len(trace) == len(result.path)
+
+    def test_trace_ends_at_zero_partition(self, uniform_graph, rng):
+        for _ in range(10):
+            source = int(rng.integers(uniform_graph.n))
+            target = float(uniform_graph.ids[int(rng.integers(uniform_graph.n))])
+            result = greedy_route(uniform_graph, source, target)
+            trace = trace_partitions(uniform_graph, result)
+            # The walk ends at the owner: distance below ~1/N, partition 0
+            # (or 1 when the owner sits right at a cell boundary).
+            assert trace[-1] <= 1
+
+    def test_trace_weakly_decreasing_mostly(self, uniform_graph, rng):
+        # Greedy distance decreases strictly, so partition indices are
+        # non-increasing along the path.
+        result = greedy_route(uniform_graph, 3, 0.456)
+        trace = trace_partitions(uniform_graph, result)
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+
+class TestAdvanceStats:
+    @pytest.fixture(scope="class")
+    def stats(self, uniform_graph):
+        rng = np.random.default_rng(4)
+        routes = sample_routes(uniform_graph, 400, rng)
+        return advance_stats(uniform_graph, routes)
+
+    def test_p_advance_exceeds_paper_bound(self, stats):
+        assert stats.p_advance >= advance_probability_bound()
+
+    def test_hops_per_partition_below_paper_bound(self, stats):
+        assert stats.mean_hops_per_partition <= partition_hops_bound()
+
+    def test_per_partition_breakdown_positive(self, stats):
+        assert stats.per_partition_hops
+        for j, mean_run in stats.per_partition_hops.items():
+            assert j >= 1
+            assert mean_run >= 1.0
+
+    def test_n_hops_counted(self, stats):
+        assert stats.n_hops > 100
+
+    def test_empty_routes(self, uniform_graph):
+        stats = advance_stats(uniform_graph, [])
+        assert math.isnan(stats.p_advance)

@@ -1,0 +1,182 @@
+"""Unit tests for greedy and lookahead routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphConfig,
+    build_skewed_model,
+    build_uniform_model,
+    greedy_route,
+    lookahead_route,
+    sample_routes,
+)
+from repro.distributions import PowerLaw
+from repro.keyspace import RingSpace
+
+
+class TestGreedyRoute:
+    def test_reaches_owner(self, uniform_graph, rng):
+        for _ in range(25):
+            source = int(rng.integers(uniform_graph.n))
+            key = float(rng.random())
+            result = greedy_route(uniform_graph, source, key)
+            assert result.success
+            assert result.reason == "arrived"
+            assert result.path[-1] == uniform_graph.owner_of(key)
+
+    def test_source_is_owner_zero_hops(self, uniform_graph):
+        key = float(uniform_graph.ids[42])
+        result = greedy_route(uniform_graph, 42, key)
+        assert result.success
+        assert result.hops == 0
+        assert result.path == [42]
+
+    def test_path_is_connected_walk(self, uniform_graph, rng):
+        source = int(rng.integers(uniform_graph.n))
+        result = greedy_route(uniform_graph, source, 0.123456)
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in set(uniform_graph.out_links(a).tolist())
+
+    def test_distance_strictly_decreases(self, uniform_graph):
+        result = greedy_route(uniform_graph, 0, 0.987)
+        target = result.target_key
+        dists = [
+            uniform_graph.space.distance(float(uniform_graph.ids[i]), target)
+            for i in result.path
+        ]
+        assert all(d1 > d2 for d1, d2 in zip(dists, dists[1:]))
+
+    def test_no_revisits(self, uniform_graph, rng):
+        for _ in range(10):
+            result = greedy_route(
+                uniform_graph, int(rng.integers(uniform_graph.n)), float(rng.random())
+            )
+            assert len(result.path) == len(set(result.path))
+
+    def test_hop_counters_consistent(self, uniform_graph, rng):
+        result = greedy_route(uniform_graph, 7, 0.777)
+        assert result.hops == result.neighbor_hops + result.long_hops
+        assert result.hops == len(result.path) - 1
+
+    def test_max_hops_enforced(self, uniform_graph):
+        result = greedy_route(uniform_graph, 0, 0.999, max_hops=1)
+        if not result.success:
+            assert result.reason == "max_hops"
+            assert result.hops == 1
+
+    def test_invalid_source_raises(self, uniform_graph):
+        with pytest.raises(ValueError):
+            greedy_route(uniform_graph, -1, 0.5)
+        with pytest.raises(ValueError):
+            greedy_route(uniform_graph, uniform_graph.n, 0.5)
+
+    def test_invalid_metric_raises(self, uniform_graph):
+        with pytest.raises(ValueError):
+            greedy_route(uniform_graph, 0, 0.5, metric="euclid")
+
+    def test_normalized_metric_on_skewed(self, skewed_graph, rng):
+        for _ in range(10):
+            source = int(rng.integers(skewed_graph.n))
+            result = greedy_route(skewed_graph, source, float(rng.random()), metric="normalized")
+            assert result.success
+
+    def test_ring_routing(self, rng):
+        graph = build_uniform_model(n=256, rng=rng, config=GraphConfig(space=RingSpace()))
+        for _ in range(20):
+            result = greedy_route(graph, int(rng.integers(256)), float(rng.random()))
+            assert result.success
+
+
+class TestAliveMask:
+    def test_dead_source_raises(self, uniform_graph):
+        alive = np.ones(uniform_graph.n, dtype=bool)
+        alive[5] = False
+        with pytest.raises(ValueError):
+            greedy_route(uniform_graph, 5, 0.5, alive=alive)
+
+    def test_routes_avoid_dead_peers(self, uniform_graph, rng):
+        alive = np.ones(uniform_graph.n, dtype=bool)
+        dead = rng.choice(uniform_graph.n, size=100, replace=False)
+        alive[dead] = False
+        live_sources = np.flatnonzero(alive)
+        for _ in range(15):
+            source = int(rng.choice(live_sources))
+            result = greedy_route(uniform_graph, source, float(rng.random()), alive=alive)
+            for idx in result.path:
+                assert alive[idx]
+
+    def test_owner_restricted_to_alive(self, uniform_graph, rng):
+        alive = np.ones(uniform_graph.n, dtype=bool)
+        key = float(uniform_graph.ids[100])
+        alive[100] = False
+        result = greedy_route(uniform_graph, 5, key, alive=alive)
+        assert result.owner != 100
+
+    def test_all_dead_raises(self, uniform_graph):
+        alive = np.zeros(uniform_graph.n, dtype=bool)
+        alive[3] = True
+        result = greedy_route(uniform_graph, 3, 0.5, alive=alive)
+        assert result.owner == 3
+
+
+class TestLookahead:
+    def test_reaches_owner(self, uniform_graph, rng):
+        for _ in range(10):
+            source = int(rng.integers(uniform_graph.n))
+            result = lookahead_route(uniform_graph, source, float(rng.random()))
+            assert result.success
+
+    def test_not_worse_than_greedy_on_average(self, uniform_graph, rng):
+        greedy_total = 0
+        look_total = 0
+        for _ in range(60):
+            source = int(rng.integers(uniform_graph.n))
+            key = float(rng.random())
+            greedy_total += greedy_route(uniform_graph, source, key).hops
+            look_total += lookahead_route(uniform_graph, source, key).hops
+        assert look_total <= greedy_total * 1.05
+
+    def test_invalid_source_raises(self, uniform_graph):
+        with pytest.raises(ValueError):
+            lookahead_route(uniform_graph, 10**6, 0.5)
+
+
+class TestSampleRoutes:
+    def test_counts(self, uniform_graph, rng):
+        routes = sample_routes(uniform_graph, 37, rng)
+        assert len(routes) == 37
+
+    def test_peer_targets_always_succeed(self, uniform_graph, rng):
+        routes = sample_routes(uniform_graph, 50, rng, targets="peers")
+        assert all(r.success for r in routes)
+
+    def test_uniform_targets(self, skewed_graph, rng):
+        routes = sample_routes(skewed_graph, 30, rng, targets="uniform")
+        assert all(r.success for r in routes)
+
+    def test_unknown_targets_raises(self, uniform_graph, rng):
+        with pytest.raises(ValueError):
+            sample_routes(uniform_graph, 5, rng, targets="martian")
+
+    def test_mean_hops_near_log_n(self, uniform_graph, rng):
+        routes = sample_routes(uniform_graph, 300, rng)
+        mean_hops = np.mean([r.hops for r in routes])
+        # log2(1024) = 10; expect well under the (1/c) log2 N + 1 ~ 27 bound
+        # and above 1.
+        assert 2.0 < mean_hops < 12.0
+
+
+class TestSkewedRouting:
+    def test_skewed_matches_uniform_cost(self, uniform_graph, skewed_graph, rng):
+        uniform_hops = np.mean([r.hops for r in sample_routes(uniform_graph, 200, rng)])
+        skewed_hops = np.mean([r.hops for r in sample_routes(skewed_graph, 200, rng)])
+        # Theorem 2: same scaling; allow 35% slack at fixed N.
+        assert skewed_hops < uniform_hops * 1.35
+
+    def test_strong_skew_still_succeeds(self, rng):
+        dist = PowerLaw(alpha=2.4, shift=1e-6)
+        graph = build_skewed_model(dist, n=512, rng=rng)
+        routes = sample_routes(graph, 100, rng)
+        assert all(r.success for r in routes)
+        assert np.mean([r.hops for r in routes]) < 15

@@ -1,0 +1,74 @@
+"""Unit tests for the analytic constants of the proofs."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    advance_probability_bound,
+    default_out_degree,
+    expected_hops_bound,
+    harmonic_normalizer_bound,
+    n_partitions,
+    partition_hops_bound,
+)
+
+
+class TestConstants:
+    def test_c_value(self):
+        # c = 1 - e^{-1/(3 ln 2)} (paper eq. (5)).
+        expected = 1.0 - math.exp(-1.0 / (3.0 * math.log(2.0)))
+        assert advance_probability_bound() == pytest.approx(expected)
+        assert advance_probability_bound() == pytest.approx(0.3818, abs=1e-4)
+
+    def test_c_in_unit_interval(self):
+        assert 0.0 < advance_probability_bound() < 1.0
+
+    def test_partition_hops_bound_value(self):
+        c = advance_probability_bound()
+        assert partition_hops_bound() == pytest.approx((1 - c) / c)
+        assert partition_hops_bound() == pytest.approx(1.619, abs=1e-3)
+
+    def test_expected_hops_bound_formula(self):
+        c = advance_probability_bound()
+        assert expected_hops_bound(1024) == pytest.approx(10.0 / c + 1.0)
+
+    def test_expected_hops_bound_monotone(self):
+        assert expected_hops_bound(2048) > expected_hops_bound(1024)
+
+    def test_expected_hops_bound_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            expected_hops_bound(1)
+
+    def test_harmonic_normalizer(self):
+        assert harmonic_normalizer_bound(100) == pytest.approx(200 * math.log(100))
+        with pytest.raises(ValueError):
+            harmonic_normalizer_bound(1)
+
+
+class TestOutDegree:
+    def test_powers_of_two(self):
+        assert default_out_degree(1024) == 10
+        assert default_out_degree(2) == 1
+
+    def test_rounds_log(self):
+        assert default_out_degree(1500) == round(math.log2(1500))
+
+    def test_minimum_one(self):
+        assert default_out_degree(1) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_out_degree(0)
+
+
+class TestNPartitions:
+    def test_exact_power(self):
+        assert n_partitions(1024) == 10
+
+    def test_rounds_up(self):
+        assert n_partitions(1025) == 11
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            n_partitions(1)

@@ -1,0 +1,312 @@
+"""Unit tests for every distribution family: axioms and known values."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Empirical,
+    IntegerBeta,
+    Mixture,
+    PiecewiseConstant,
+    PowerLaw,
+    TruncatedExponential,
+    TruncatedNormal,
+    Uniform,
+    zipf_distribution,
+)
+
+ALL_DISTRIBUTIONS = [
+    ("uniform", Uniform()),
+    ("powerlaw", PowerLaw(alpha=1.5, shift=1e-3)),
+    ("powerlaw-log", PowerLaw(alpha=1.0, shift=1e-2)),
+    ("normal", TruncatedNormal(mu=0.5, sigma=0.1)),
+    ("normal-offcenter", TruncatedNormal(mu=0.9, sigma=0.3)),
+    ("exponential", TruncatedExponential(rate=5.0)),
+    ("exponential-neg", TruncatedExponential(rate=-4.0)),
+    ("beta", IntegerBeta(a=2, b=5)),
+    ("piecewise", PiecewiseConstant([0.0, 0.2, 0.7, 1.0], [3.0, 1.0, 6.0])),
+    ("zipf", zipf_distribution(64, 1.1)),
+    ("mixture", Mixture([TruncatedNormal(0.3, 0.05), Uniform()], [0.7, 0.3])),
+    ("empirical", Empirical([0.1, 0.2, 0.22, 0.5, 0.9])),
+]
+
+
+@pytest.mark.parametrize("name,dist", ALL_DISTRIBUTIONS, ids=[n for n, _ in ALL_DISTRIBUTIONS])
+class TestDistributionAxioms:
+    """Axioms every distribution on [0, 1) must satisfy."""
+
+    grid = np.linspace(0.001, 0.999, 97)
+
+    def test_cdf_boundary_values(self, name, dist):
+        assert dist.cdf(0.0) == pytest.approx(0.0, abs=1e-9)
+        assert dist.cdf(1.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self, name, dist):
+        values = np.asarray(dist.cdf(self.grid))
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_cdf_extension_outside_support(self, name, dist):
+        assert dist.cdf(-0.5) == 0.0
+        assert dist.cdf(1.5) == 1.0
+
+    def test_pdf_nonnegative(self, name, dist):
+        assert np.all(np.asarray(dist.pdf(self.grid)) >= 0.0)
+
+    def test_pdf_zero_outside_support(self, name, dist):
+        assert dist.pdf(-0.1) == 0.0
+        assert dist.pdf(1.1) == 0.0
+
+    def test_pdf_integrates_to_one(self, name, dist):
+        mid = (np.arange(4000) + 0.5) / 4000
+        total = float(np.asarray(dist.pdf(mid)).mean())
+        assert total == pytest.approx(1.0, rel=0.02)
+
+    def test_cdf_matches_pdf_integral(self, name, dist):
+        # F(x) - F(a) == integral of f over [a, x] (trapezoidal check).
+        a, x = 0.2, 0.8
+        grid = np.linspace(a, x, 2001)
+        integral = float(np.trapezoid(np.asarray(dist.pdf(grid)), grid))
+        assert dist.measure(a, x) == pytest.approx(integral, rel=0.02, abs=1e-4)
+
+    def test_ppf_inverts_cdf(self, name, dist):
+        qs = np.linspace(0.01, 0.99, 33)
+        xs = np.asarray(dist.ppf(qs))
+        back = np.asarray(dist.cdf(xs))
+        assert np.allclose(back, qs, atol=1e-6)
+
+    def test_ppf_rejects_out_of_range(self, name, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(-0.1)
+        with pytest.raises(ValueError):
+            dist.ppf(1.1)
+
+    def test_scalar_in_scalar_out(self, name, dist):
+        assert isinstance(dist.cdf(0.5), float)
+        assert isinstance(dist.pdf(0.5), float)
+        assert isinstance(dist.ppf(0.5), float)
+
+    def test_array_in_array_out(self, name, dist):
+        out = dist.cdf(np.array([0.1, 0.9]))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2,)
+
+    def test_measure_symmetric(self, name, dist):
+        assert dist.measure(0.2, 0.8) == pytest.approx(dist.measure(0.8, 0.2))
+
+    def test_measure_additive(self, name, dist):
+        whole = dist.measure(0.1, 0.9)
+        parts = dist.measure(0.1, 0.45) + dist.measure(0.45, 0.9)
+        assert whole == pytest.approx(parts, abs=1e-9)
+
+    def test_samples_in_support(self, name, dist):
+        rng = np.random.default_rng(7)
+        samples = dist.sample(500, rng)
+        assert samples.shape == (500,)
+        assert np.all((samples >= 0.0) & (samples < 1.0))
+
+    def test_samples_match_cdf_ks(self, name, dist):
+        rng = np.random.default_rng(7)
+        samples = np.sort(dist.sample(2000, rng))
+        ecdf = (np.arange(1, 2001)) / 2000.0
+        theory = np.asarray(dist.cdf(samples))
+        # KS distance bound for n=2000 at alpha ~ 1e-4 is ~0.044.
+        assert np.max(np.abs(ecdf - theory)) < 0.05
+
+    def test_sample_zero(self, name, dist):
+        rng = np.random.default_rng(7)
+        assert dist.sample(0, rng).shape == (0,)
+
+    def test_sample_negative_raises(self, name, dist):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            dist.sample(-1, rng)
+
+
+class TestUniform:
+    def test_cdf_is_identity(self):
+        dist = Uniform()
+        assert dist.cdf(0.37) == pytest.approx(0.37)
+
+    def test_measure_is_distance(self):
+        dist = Uniform()
+        assert dist.measure(0.2, 0.9) == pytest.approx(0.7)
+
+
+class TestPowerLaw:
+    def test_mass_concentrates_near_zero(self):
+        dist = PowerLaw(alpha=2.0, shift=1e-4)
+        assert dist.cdf(0.01) > 0.5
+
+    def test_higher_alpha_more_skew(self):
+        lo = PowerLaw(alpha=0.5, shift=1e-3)
+        hi = PowerLaw(alpha=2.5, shift=1e-3)
+        assert hi.cdf(0.05) > lo.cdf(0.05)
+
+    def test_closed_form_ppf_matches_bisection(self):
+        dist = PowerLaw(alpha=1.7, shift=1e-3)
+        qs = np.linspace(0.05, 0.95, 19)
+        from repro.distributions.base import Distribution
+
+        bisected = Distribution._ppf(dist, qs)
+        assert np.allclose(np.asarray(dist.ppf(qs)), bisected, atol=1e-9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLaw(alpha=0.0)
+        with pytest.raises(ValueError):
+            PowerLaw(alpha=1.0, shift=0.0)
+
+
+class TestTruncatedNormal:
+    def test_mode_at_mu(self):
+        dist = TruncatedNormal(mu=0.4, sigma=0.1)
+        assert dist.pdf(0.4) > dist.pdf(0.3)
+        assert dist.pdf(0.4) > dist.pdf(0.5)
+
+    def test_symmetry_around_centered_mu(self):
+        dist = TruncatedNormal(mu=0.5, sigma=0.08)
+        assert dist.cdf(0.5) == pytest.approx(0.5, abs=1e-9)
+        assert dist.pdf(0.4) == pytest.approx(dist.pdf(0.6), rel=1e-9)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(sigma=0.0)
+
+    def test_rejects_no_mass(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(mu=500.0, sigma=0.001)
+
+
+class TestTruncatedExponential:
+    def test_decays_from_zero(self):
+        dist = TruncatedExponential(rate=6.0)
+        assert dist.pdf(0.05) > dist.pdf(0.5) > dist.pdf(0.95)
+
+    def test_negative_rate_mirrors(self):
+        dist = TruncatedExponential(rate=-6.0)
+        assert dist.pdf(0.95) > dist.pdf(0.05)
+
+    def test_zero_rate_is_uniform(self):
+        dist = TruncatedExponential(rate=0.0)
+        assert dist.cdf(0.42) == pytest.approx(0.42)
+        assert dist.pdf(0.42) == pytest.approx(1.0)
+
+
+class TestIntegerBeta:
+    def test_uniform_special_case(self):
+        dist = IntegerBeta(a=1, b=1)
+        assert dist.cdf(0.3) == pytest.approx(0.3, abs=1e-12)
+
+    def test_known_cdf_a2_b1(self):
+        # f = 2x, F = x^2.
+        dist = IntegerBeta(a=2, b=1)
+        assert dist.cdf(0.5) == pytest.approx(0.25)
+
+    def test_known_cdf_a1_b2(self):
+        # f = 2(1-x), F = 2x - x^2.
+        dist = IntegerBeta(a=1, b=2)
+        assert dist.cdf(0.5) == pytest.approx(0.75)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            IntegerBeta(a=1.5, b=2)  # type: ignore[arg-type]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            IntegerBeta(a=0, b=2)
+
+
+class TestPiecewiseConstant:
+    def test_densities_proportional_to_weights(self):
+        dist = PiecewiseConstant([0.0, 0.5, 1.0], [3.0, 1.0])
+        assert dist.pdf(0.25) == pytest.approx(3.0 * dist.pdf(0.75))
+
+    def test_zero_weight_cell_has_no_mass(self):
+        dist = PiecewiseConstant([0.0, 0.4, 0.6, 1.0], [1.0, 0.0, 1.0])
+        assert dist.measure(0.4, 0.6) == pytest.approx(0.0)
+        assert dist.pdf(0.5) == 0.0
+
+    def test_ppf_skips_zero_mass_cells(self):
+        dist = PiecewiseConstant([0.0, 0.4, 0.6, 1.0], [1.0, 0.0, 1.0])
+        x = dist.ppf(0.5)
+        assert not 0.4 < x < 0.6 or x == pytest.approx(0.4, abs=1e-9) or x == pytest.approx(0.6, abs=1e-9)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            PiecewiseConstant([0.0, 1.0], [1.0, 2.0])  # weight count mismatch
+        with pytest.raises(ValueError):
+            PiecewiseConstant([0.1, 1.0], [1.0])  # must start at 0
+        with pytest.raises(ValueError):
+            PiecewiseConstant([0.0, 0.5, 0.4, 1.0], [1, 1, 1])  # not increasing
+        with pytest.raises(ValueError):
+            PiecewiseConstant([0.0, 1.0], [-1.0])  # negative weight
+        with pytest.raises(ValueError):
+            PiecewiseConstant([0.0, 0.5, 1.0], [0.0, 0.0])  # all zero
+
+
+class TestZipf:
+    def test_rank_one_heaviest(self):
+        dist = zipf_distribution(10, exponent=1.0)
+        first = dist.measure(0.0, 0.1)
+        last = dist.measure(0.9, 1.0)
+        assert first == pytest.approx(10 * last, rel=1e-6)
+
+    def test_exponent_zero_is_uniform(self):
+        dist = zipf_distribution(16, exponent=0.0)
+        assert dist.cdf(0.25) == pytest.approx(0.25, abs=1e-9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_distribution(0)
+
+
+class TestMixture:
+    def test_cdf_is_weighted_sum(self):
+        a, b = Uniform(), IntegerBeta(2, 1)
+        mix = Mixture([a, b], [0.25, 0.75])
+        x = 0.6
+        expected = 0.25 * a.cdf(x) + 0.75 * b.cdf(x)
+        assert mix.cdf(x) == pytest.approx(expected)
+
+    def test_weights_normalised(self):
+        mix = Mixture([Uniform(), Uniform()], [2.0, 6.0])
+        assert np.allclose(mix.weights, [0.25, 0.75])
+
+    def test_default_equal_weights(self):
+        mix = Mixture([Uniform(), Uniform(), Uniform()])
+        assert np.allclose(mix.weights, [1 / 3] * 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Mixture([])
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            Mixture([Uniform()], [0.0])
+        with pytest.raises(ValueError):
+            Mixture([Uniform()], [1.0, 1.0])
+
+
+class TestEmpirical:
+    def test_cdf_interpolates_ranks(self):
+        dist = Empirical([0.25, 0.5, 0.75])
+        assert dist.cdf(0.5) == pytest.approx(0.5, abs=0.01)
+
+    def test_handles_duplicates(self):
+        dist = Empirical([0.3, 0.3, 0.3, 0.8])
+        assert 0.0 < dist.cdf(0.3) < 1.0
+
+    def test_recovers_underlying_distribution(self):
+        rng = np.random.default_rng(3)
+        truth = TruncatedExponential(rate=8.0)
+        est = Empirical(truth.sample(5000, rng))
+        grid = np.linspace(0.05, 0.95, 19)
+        assert np.max(np.abs(np.asarray(est.cdf(grid)) - np.asarray(truth.cdf(grid)))) < 0.03
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Empirical([0.5, 1.2])

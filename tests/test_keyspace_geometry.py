@@ -1,0 +1,136 @@
+"""Unit tests for the interval and ring key-space geometries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.keyspace import IntervalSpace, RingSpace
+
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+class TestIntervalSpace:
+    def setup_method(self):
+        self.space = IntervalSpace()
+
+    def test_distance_is_absolute_difference(self):
+        assert self.space.distance(0.2, 0.7) == pytest.approx(0.5)
+        assert self.space.distance(0.7, 0.2) == pytest.approx(0.5)
+
+    def test_distance_self_is_zero(self):
+        assert self.space.distance(0.31, 0.31) == 0.0
+
+    def test_displacement_signed(self):
+        assert self.space.displacement(0.2, 0.7) == pytest.approx(0.5)
+        assert self.space.displacement(0.7, 0.2) == pytest.approx(-0.5)
+
+    def test_shift_does_not_wrap(self):
+        assert self.space.shift(0.9, 0.2) == pytest.approx(1.1)
+        assert self.space.shift(0.1, -0.2) == pytest.approx(-0.1)
+
+    def test_spans_are_endpoint_distances(self):
+        left, right = self.space.spans(0.25)
+        assert left == pytest.approx(0.25)
+        assert right == pytest.approx(0.75)
+
+    def test_max_distance_at_center_is_half(self):
+        assert self.space.max_distance(0.5) == pytest.approx(0.5)
+
+    def test_max_distance_at_edge_is_one(self):
+        assert self.space.max_distance(0.0) == pytest.approx(1.0)
+
+    def test_is_not_ring(self):
+        assert not self.space.is_ring
+
+    def test_contains(self):
+        assert self.space.contains(0.0)
+        assert self.space.contains(0.999)
+        assert not self.space.contains(1.0)
+        assert not self.space.contains(-0.001)
+
+    def test_distances_vectorised_matches_scalar(self):
+        a = np.array([0.1, 0.5, 0.9])
+        out = self.space.distances(a, 0.4)
+        expected = [self.space.distance(x, 0.4) for x in a]
+        assert np.allclose(out, expected)
+
+    def test_equality_and_hash(self):
+        assert IntervalSpace() == IntervalSpace()
+        assert hash(IntervalSpace()) == hash(IntervalSpace())
+        assert IntervalSpace() != RingSpace()
+
+    @given(a=unit, b=unit)
+    def test_metric_symmetry(self, a, b):
+        assert self.space.distance(a, b) == pytest.approx(self.space.distance(b, a))
+
+    @given(a=unit, b=unit, c=unit)
+    def test_triangle_inequality(self, a, b, c):
+        d = self.space.distance
+        assert d(a, c) <= d(a, b) + d(b, c) + 1e-12
+
+    @given(a=unit, b=unit)
+    def test_displacement_moves_a_to_b(self, a, b):
+        assert self.space.shift(a, self.space.displacement(a, b)) == pytest.approx(b)
+
+
+class TestRingSpace:
+    def setup_method(self):
+        self.space = RingSpace()
+
+    def test_distance_wraps(self):
+        assert self.space.distance(0.05, 0.95) == pytest.approx(0.1)
+
+    def test_distance_no_wrap_when_shorter(self):
+        assert self.space.distance(0.2, 0.4) == pytest.approx(0.2)
+
+    def test_distance_antipodal_is_half(self):
+        assert self.space.distance(0.0, 0.5) == pytest.approx(0.5)
+
+    def test_displacement_wraps_to_short_way(self):
+        assert self.space.displacement(0.9, 0.1) == pytest.approx(0.2)
+        assert self.space.displacement(0.1, 0.9) == pytest.approx(-0.2)
+
+    def test_shift_wraps_modulo_one(self):
+        assert self.space.shift(0.9, 0.2) == pytest.approx(0.1)
+        assert self.space.shift(0.1, -0.2) == pytest.approx(0.9)
+
+    def test_spans_are_both_half(self):
+        assert self.space.spans(0.123) == (0.5, 0.5)
+
+    def test_clockwise_distance_asymmetric(self):
+        assert self.space.clockwise_distance(0.9, 0.1) == pytest.approx(0.2)
+        assert self.space.clockwise_distance(0.1, 0.9) == pytest.approx(0.8)
+
+    def test_is_ring(self):
+        assert self.space.is_ring
+
+    def test_distances_vectorised_matches_scalar(self):
+        a = np.array([0.05, 0.5, 0.95])
+        out = self.space.distances(a, 0.0)
+        expected = [self.space.distance(x, 0.0) for x in a]
+        assert np.allclose(out, expected)
+
+    @given(a=unit, b=unit)
+    def test_metric_symmetry(self, a, b):
+        assert self.space.distance(a, b) == pytest.approx(self.space.distance(b, a))
+
+    @given(a=unit, b=unit, c=unit)
+    def test_triangle_inequality(self, a, b, c):
+        d = self.space.distance
+        assert d(a, c) <= d(a, b) + d(b, c) + 1e-12
+
+    @given(a=unit, b=unit)
+    def test_distance_bounded_by_half(self, a, b):
+        assert self.space.distance(a, b) <= 0.5
+
+    @given(a=unit, b=unit)
+    def test_displacement_magnitude_equals_distance(self, a, b):
+        assert abs(self.space.displacement(a, b)) == pytest.approx(
+            self.space.distance(a, b)
+        )
+
+    @given(a=unit, b=unit)
+    def test_displacement_moves_a_to_b(self, a, b):
+        target = self.space.shift(a, self.space.displacement(a, b))
+        assert self.space.distance(target, b) == pytest.approx(0.0, abs=1e-9)

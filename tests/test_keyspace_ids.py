@@ -1,0 +1,141 @@
+"""Unit tests for identifier utilities: digits, hashing, Morton codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.keyspace import (
+    binary_digits,
+    bit_string,
+    common_prefix_length,
+    digits,
+    from_digits,
+    mix_hash,
+    morton_collapse,
+    morton_spread,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, exclude_max=True, allow_nan=False)
+
+
+class TestDigits:
+    def test_binary_digits_known_value(self):
+        assert binary_digits(0.8125, 4) == (1, 1, 0, 1)  # 0.1101b
+
+    def test_binary_digits_zero(self):
+        assert binary_digits(0.0, 5) == (0, 0, 0, 0, 0)
+
+    def test_base16_digits(self):
+        # 0.6640625 = 10/16 + 10/256 = 0xAA / 256
+        assert digits(0.6640625, base=16, depth=2) == (10, 10)
+
+    def test_depth_zero(self):
+        assert digits(0.5, base=2, depth=0) == ()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_digits(1.0, 4)
+        with pytest.raises(ValueError):
+            binary_digits(-0.1, 4)
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            digits(0.5, base=1, depth=4)
+
+    def test_rejects_excessive_depth(self):
+        with pytest.raises(ValueError):
+            digits(0.5, base=2, depth=60)
+
+    def test_from_digits_roundtrip_prefix(self):
+        value = 0.7310791015625
+        digs = binary_digits(value, 20)
+        recovered = from_digits(digs, base=2)
+        assert abs(recovered - value) < 2**-20
+
+    def test_from_digits_rejects_invalid_digit(self):
+        with pytest.raises(ValueError):
+            from_digits((2,), base=2)
+
+    def test_bit_string(self):
+        assert bit_string(0.5, 3) == "100"
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length((1, 0, 1), (1, 0, 0)) == 2
+        assert common_prefix_length((0,), (1,)) == 0
+        assert common_prefix_length((1, 1), (1, 1)) == 2
+
+    @given(x=unit)
+    def test_digits_recover_value_to_precision(self, x):
+        digs = digits(x, base=2, depth=40)
+        assert abs(from_digits(digs, 2) - x) < 2**-40
+
+    @given(x=unit)
+    def test_digit_values_in_range(self, x):
+        for base in (2, 4, 16):
+            for d in digits(x, base=base, depth=8):
+                assert 0 <= d < base
+
+
+class TestMixHash:
+    def test_deterministic(self):
+        assert mix_hash(0.123) == mix_hash(0.123)
+
+    def test_in_unit_interval(self):
+        for x in np.linspace(0, 0.999, 100):
+            h = mix_hash(float(x))
+            assert 0.0 <= h < 1.0
+
+    def test_uniformises_skew(self):
+        rng = np.random.default_rng(0)
+        skewed = rng.beta(0.3, 5.0, size=4000)
+        hashed = np.array([mix_hash(float(x)) for x in skewed])
+        # Crude uniformity check: all deciles populated within 40% of even.
+        counts, __ = np.histogram(hashed, bins=10, range=(0, 1))
+        assert counts.min() > 0.6 * 400
+        assert counts.max() < 1.4 * 400
+
+    def test_destroys_locality(self):
+        a, b = 0.500000, 0.500001
+        assert abs(mix_hash(a) - mix_hash(b)) > 1e-3
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            mix_hash(1.0)
+
+
+class TestMorton:
+    def test_roundtrip_2d(self):
+        for x in (0.0, 0.25, 0.6180339887, 0.99):
+            point = morton_spread(x, dims=2, bits_per_dim=16)
+            back = morton_collapse(point, bits_per_dim=16)
+            assert abs(back - x) < 2**-30
+
+    def test_roundtrip_1d_is_identity_to_precision(self):
+        x = 0.37109375
+        (coord,) = morton_spread(x, dims=1, bits_per_dim=20)
+        assert abs(coord - x) < 2**-20
+
+    def test_locality_preserved(self):
+        # Nearby keys map to nearby points (within a few cell widths).
+        a = morton_spread(0.400000, dims=2)
+        b = morton_spread(0.400001, dims=2)
+        dist = abs(a[0] - b[0]) + abs(a[1] - b[1])
+        assert dist < 0.01
+
+    def test_coordinates_in_unit_square(self):
+        for x in np.linspace(0, 0.999, 50):
+            for c in morton_spread(float(x), dims=2):
+                assert 0.0 <= c < 1.0
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            morton_spread(0.5, dims=0)
+
+    def test_rejects_excessive_precision(self):
+        with pytest.raises(ValueError):
+            morton_spread(0.5, dims=4, bits_per_dim=16)
+
+    def test_collapse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            morton_collapse(())

@@ -1,0 +1,104 @@
+"""Unit tests for nearest/successor/predecessor search over sorted ids."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.keyspace import (
+    IntervalSpace,
+    RingSpace,
+    nearest_index,
+    predecessor_index,
+    successor_index,
+)
+
+
+@pytest.fixture
+def ids():
+    return np.array([0.1, 0.3, 0.55, 0.9])
+
+
+class TestNearestIndex:
+    def test_interval_basic(self, ids):
+        space = IntervalSpace()
+        assert nearest_index(ids, 0.32, space) == 1
+        assert nearest_index(ids, 0.05, space) == 0
+        assert nearest_index(ids, 0.95, space) == 3
+
+    def test_interval_no_wrap(self, ids):
+        # 0.99 is closer to 0.9 than to 0.1 on the interval.
+        assert nearest_index(ids, 0.99, IntervalSpace()) == 3
+
+    def test_ring_wraps(self, ids):
+        # 0.99 is 0.09 from 0.9 but also 0.11 from 0.1 across the wrap.
+        assert nearest_index(ids, 0.99, RingSpace()) == 3
+        # 0.02 is 0.08 from 0.1 and 0.12 from 0.9 across the wrap.
+        assert nearest_index(ids, 0.02, RingSpace()) == 0
+        # 0.97 wraps: 0.07 from 0.9, 0.13 to 0.1 -> index 3.
+        assert nearest_index(ids, 0.97, RingSpace()) == 3
+
+    def test_ring_wrap_prefers_high_end(self):
+        ids = np.array([0.2, 0.8])
+        assert nearest_index(ids, 0.99, RingSpace()) == 1  # 0.19 wrap vs 0.21
+        assert nearest_index(ids, 0.01, RingSpace()) == 0  # 0.19 vs 0.21 wrap
+
+    def test_exact_match(self, ids):
+        for space in (IntervalSpace(), RingSpace()):
+            for i, x in enumerate(ids):
+                assert nearest_index(ids, float(x), space) == i
+
+    def test_tie_breaks_to_lower_id(self):
+        ids = np.array([0.2, 0.4])
+        assert nearest_index(ids, 0.3, IntervalSpace()) == 0
+
+    def test_single_element(self):
+        ids = np.array([0.5])
+        assert nearest_index(ids, 0.9, IntervalSpace()) == 0
+        assert nearest_index(ids, 0.9, RingSpace()) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_index(np.array([]), 0.5, IntervalSpace())
+
+    @given(key=st.floats(min_value=0.0, max_value=0.999999))
+    def test_matches_brute_force_interval(self, key):
+        ids = np.array([0.05, 0.2, 0.21, 0.5, 0.77, 0.98])
+        space = IntervalSpace()
+        best = min(range(len(ids)), key=lambda i: (space.distance(ids[i], key), ids[i]))
+        assert nearest_index(ids, key, space) == best
+
+    @given(key=st.floats(min_value=0.0, max_value=0.999999))
+    def test_matches_brute_force_ring(self, key):
+        ids = np.array([0.05, 0.2, 0.21, 0.5, 0.77, 0.98])
+        space = RingSpace()
+        best = min(range(len(ids)), key=lambda i: (space.distance(ids[i], key), ids[i]))
+        assert nearest_index(ids, key, space) == best
+
+
+class TestSuccessorPredecessor:
+    def test_successor_basic(self, ids):
+        assert successor_index(ids, 0.31) == 2
+        assert successor_index(ids, 0.55) == 2  # inclusive
+
+    def test_successor_wraps(self, ids):
+        assert successor_index(ids, 0.95) == 0
+
+    def test_predecessor_basic(self, ids):
+        assert predecessor_index(ids, 0.31) == 1
+        assert predecessor_index(ids, 0.55) == 1  # strictly less
+
+    def test_predecessor_wraps(self, ids):
+        assert predecessor_index(ids, 0.05) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            successor_index(np.array([]), 0.5)
+        with pytest.raises(ValueError):
+            predecessor_index(np.array([]), 0.5)
+
+    def test_successor_predecessor_adjacent(self, ids):
+        for key in (0.2, 0.4, 0.7):
+            succ = successor_index(ids, key)
+            pred = predecessor_index(ids, key)
+            assert (pred + 1) % len(ids) == succ

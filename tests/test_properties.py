@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GraphConfig,
+    build_skewed_model,
+    build_uniform_model,
+    greedy_route,
+    partition_index,
+)
+from repro.distributions import (
+    IntegerBeta,
+    Mixture,
+    PowerLaw,
+    TruncatedExponential,
+    TruncatedNormal,
+    Uniform,
+)
+from repro.keyspace import IntervalSpace, RingSpace, nearest_index
+
+# Strategy: a distribution drawn from the full family zoo.
+distributions = st.one_of(
+    st.just(Uniform()),
+    st.builds(
+        PowerLaw,
+        alpha=st.floats(0.2, 2.5),
+        shift=st.floats(1e-4, 1e-1),
+    ),
+    st.builds(
+        TruncatedNormal,
+        mu=st.floats(0.1, 0.9),
+        sigma=st.floats(0.01, 1.0),
+    ),
+    st.builds(TruncatedExponential, rate=st.floats(-30.0, 30.0)),
+    st.builds(
+        IntegerBeta,
+        a=st.integers(1, 6),
+        b=st.integers(1, 6),
+    ),
+)
+
+
+class TestDistributionProperties:
+    @given(dist=distributions, q=st.floats(0.001, 0.999))
+    def test_cdf_ppf_inverse(self, dist, q):
+        assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-6)
+
+    @given(dist=distributions, a=st.floats(0, 1), b=st.floats(0, 1))
+    def test_measure_nonnegative_and_bounded(self, dist, a, b):
+        m = dist.measure(a, b)
+        assert 0.0 <= m <= 1.0
+
+    @given(
+        dist=distributions,
+        a=st.floats(0, 1),
+        b=st.floats(0, 1),
+        c=st.floats(0, 1),
+    )
+    def test_measure_triangle(self, dist, a, b, c):
+        assert dist.measure(a, c) <= dist.measure(a, b) + dist.measure(b, c) + 1e-12
+
+    @given(dist=distributions)
+    def test_mixture_of_anything_is_valid(self, dist):
+        mix = Mixture([dist, Uniform()], [0.5, 0.5])
+        assert mix.cdf(1.0) == pytest.approx(1.0, abs=1e-9)
+        assert mix.cdf(0.0) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGraphProperties:
+    @given(
+        n=st.integers(8, 200),
+        seed=st.integers(0, 2**32 - 1),
+        ring=st.booleans(),
+    )
+    @settings(max_examples=15)
+    def test_uniform_graph_invariants(self, n, seed, ring):
+        rng = np.random.default_rng(seed)
+        space = RingSpace() if ring else IntervalSpace()
+        graph = build_uniform_model(n=n, rng=rng, config=GraphConfig(space=space))
+        cutoff = graph.cutoff_mass
+        for i, links in enumerate(graph.long_links):
+            assert i not in set(links.tolist())
+            assert len(links) == len(set(links.tolist()))
+            for j in links:
+                assert 0 <= int(j) < n
+                dist = space.distance(
+                    float(graph.normalized_ids[i]), float(graph.normalized_ids[int(j)])
+                )
+                assert dist >= cutoff - 1e-12
+
+    @given(
+        n=st.integers(8, 150),
+        seed=st.integers(0, 2**32 - 1),
+        alpha=st.floats(0.3, 2.2),
+    )
+    @settings(max_examples=15)
+    def test_skewed_graph_routing_always_arrives(self, n, seed, alpha):
+        rng = np.random.default_rng(seed)
+        graph = build_skewed_model(PowerLaw(alpha=alpha, shift=1e-3), n=n, rng=rng)
+        for _ in range(5):
+            source = int(rng.integers(n))
+            key = float(rng.random())
+            result = greedy_route(graph, source, key)
+            assert result.success
+            assert result.hops <= n
+            assert result.path[-1] == graph.owner_of(key)
+
+    @given(n=st.integers(8, 150), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=15)
+    def test_greedy_distance_monotone(self, n, seed):
+        rng = np.random.default_rng(seed)
+        graph = build_uniform_model(n=n, rng=rng)
+        key = float(rng.random())
+        result = greedy_route(graph, int(rng.integers(n)), key)
+        dists = [
+            graph.space.distance(float(graph.ids[i]), key) for i in result.path
+        ]
+        assert all(a > b for a, b in zip(dists, dists[1:]))
+
+
+class TestPartitionProperties:
+    @given(
+        d=st.floats(1e-9, 1.0, exclude_max=True),
+        n=st.integers(2, 10**6),
+    )
+    def test_partition_index_in_range(self, d, n):
+        j = partition_index(d, n)
+        assert 0 <= j <= max(1, math.ceil(math.log2(n)))
+
+    @given(
+        d=st.floats(1e-6, 0.5),
+        n=st.integers(4, 10**5),
+    )
+    def test_doubling_distance_raises_partition_by_one(self, d, n):
+        j1 = partition_index(d, n)
+        j2 = partition_index(2 * d, n)
+        if 1 <= j1 < math.ceil(math.log2(n)):
+            assert j2 == j1 + 1
+
+
+class TestNearestIndexProperties:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        key=st.floats(0, 1, exclude_max=True),
+        ring=st.booleans(),
+    )
+    @settings(max_examples=20)
+    def test_nearest_matches_brute_force(self, seed, key, ring):
+        rng = np.random.default_rng(seed)
+        ids = np.sort(rng.random(rng.integers(1, 40)))
+        space = RingSpace() if ring else IntervalSpace()
+        best = min(
+            range(len(ids)), key=lambda i: (space.distance(float(ids[i]), key), ids[i])
+        )
+        assert nearest_index(ids, key, space) == best

@@ -1,0 +1,114 @@
+"""Tests for the ASCII plot helpers and the E13/E14 extensions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_histogram, ascii_series
+from repro.experiments import run_experiment
+
+
+class TestAsciiHistogram:
+    def test_contains_all_counts(self, rng):
+        values = rng.normal(5, 1, 200)
+        text = ascii_histogram(values, n_bins=8)
+        total = sum(
+            int(line.split(")")[1].split()[0]) for line in text.splitlines()
+        )
+        assert total == 200
+
+    def test_title_rendered(self, rng):
+        text = ascii_histogram(rng.random(10), title="HOPS")
+        assert text.splitlines()[0] == "HOPS"
+
+    def test_peak_bar_has_full_width(self, rng):
+        text = ascii_histogram(rng.random(500), n_bins=5, width=30)
+        assert max(line.count("#") for line in text.splitlines()) == 30
+
+    def test_constant_values_ok(self):
+        text = ascii_histogram([3.0, 3.0, 3.0])
+        assert "3" in text
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], n_bins=0)
+
+
+class TestAsciiSeries:
+    def test_log2_labels(self):
+        text = ascii_series([256, 512], [4.0, 4.5], label_x="N", label_y="hops")
+        assert "2^8.0" in text
+        assert "2^9.0" in text
+
+    def test_plain_labels(self):
+        text = ascii_series([1, 2], [1.0, 2.0], log2_x=False)
+        assert "\n           1 |" in "\n" + text
+
+    def test_bars_proportional(self):
+        text = ascii_series([2, 4], [1.0, 2.0], width=20)
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 20
+        assert lines[-2].count("#") == 10
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            ascii_series([1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_series([], [])
+
+
+class TestE13Ablations:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("E13", seed=5, quick=True)[0]
+
+    def test_has_all_variants(self, table):
+        variants = {row["variant"] for row in table.rows}
+        assert len(variants) == 7
+        assert any("lookahead" in v for v in variants)
+        assert any("exact" in v for v in variants)
+
+    def test_all_variants_deliver(self, table):
+        assert all(row["success"] == 1.0 for row in table.rows)
+
+    def test_samplers_agree(self, table):
+        rows = {row["variant"]: row for row in table.rows}
+        base = rows["baseline (fast, dedupe, cutoff 1/N)"]["hops"]
+        assert abs(rows["exact sampler"]["hops"] - base) < 0.4 * base
+
+    def test_no_dedupe_fewer_effective_links(self, table):
+        rows = {row["variant"]: row for row in table.rows}
+        base_links = rows["baseline (fast, dedupe, cutoff 1/N)"]["links"]
+        assert rows["no dedupe (literal i.i.d. draws)"]["links"] < base_links
+
+    def test_improvements_never_hurt(self, table):
+        rows = {row["variant"]: row for row in table.rows}
+        base = rows["baseline (fast, dedupe, cutoff 1/N)"]["hops"]
+        assert rows["bidirectional long links"]["hops"] <= base * 1.1
+        assert rows["NoN lookahead routing [ref 10]"]["hops"] <= base * 1.1
+
+
+class TestE14Variance:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_experiment("E14", seed=5, quick=True)[0]
+
+    def test_rows_per_model_and_size(self, table):
+        assert len(table.rows) == 4  # 2 models x 2 quick sizes
+        assert {row["model"] for row in table.rows} == {"uniform", "skewed"}
+
+    def test_moments_consistent(self, table):
+        for row in table.rows:
+            assert row["std"] >= 0
+            assert row["mean"] <= row["p95"] <= row["p99"] <= row["max"]
+
+    def test_no_heavy_tail(self, table):
+        for row in table.rows:
+            assert row["p99"] < 3 * row["mean"] + 2
+
+    def test_skew_does_not_change_spread(self, table):
+        by = {(r["model"], r["n"]): r for r in table.rows}
+        sizes = sorted({r["n"] for r in table.rows})
+        for n in sizes:
+            assert abs(by[("skewed", n)]["std"] - by[("uniform", n)]["std"]) < 1.0

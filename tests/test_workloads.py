@@ -1,0 +1,98 @@
+"""Unit tests for key-corpus and query-workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PowerLaw
+from repro.workloads import (
+    corpus_from_distribution,
+    hotspot_corpus,
+    point_queries,
+    range_queries,
+    timestamp_corpus,
+    zipf_corpus,
+    zipf_point_queries,
+)
+
+
+class TestCorpora:
+    def test_corpus_from_distribution_sorted(self, rng):
+        keys = corpus_from_distribution(PowerLaw(alpha=1.5, shift=1e-2), 500, rng)
+        assert len(keys) == 500
+        assert np.all(np.diff(keys) >= 0)
+        assert np.all((keys >= 0) & (keys < 1))
+
+    def test_zipf_corpus_head_heavy(self, rng):
+        keys = zipf_corpus(5000, rng, n_items=100, exponent=1.2)
+        # The first item's cell [0, 0.01) holds far more than 1/100 of keys.
+        assert np.mean(keys < 0.01) > 0.05
+
+    def test_zipf_corpus_exponent_zero_flat(self, rng):
+        keys = zipf_corpus(5000, rng, n_items=100, exponent=0.0)
+        assert np.mean(keys < 0.5) == pytest.approx(0.5, abs=0.05)
+
+    def test_timestamp_corpus_recent_heavy(self, rng):
+        keys = timestamp_corpus(5000, rng, recency_rate=8.0)
+        assert np.mean(keys > 0.8) > 0.6
+
+    def test_hotspot_corpus_concentrates(self, rng):
+        keys = hotspot_corpus(5000, rng, hotspots=(0.3,), hotspot_sigma=0.01,
+                              hotspot_weight=0.9)
+        assert np.mean(np.abs(keys - 0.3) < 0.05) > 0.7
+
+    def test_hotspot_full_weight(self, rng):
+        keys = hotspot_corpus(1000, rng, hotspots=(0.5,), hotspot_weight=1.0)
+        assert np.mean(np.abs(keys - 0.5) < 0.1) > 0.9
+
+    def test_rejections(self, rng):
+        with pytest.raises(ValueError):
+            zipf_corpus(10, rng, n_items=0)
+        with pytest.raises(ValueError):
+            timestamp_corpus(-1, rng)
+        with pytest.raises(ValueError):
+            hotspot_corpus(10, rng, hotspots=())
+        with pytest.raises(ValueError):
+            hotspot_corpus(10, rng, hotspot_weight=1.5)
+
+
+class TestQueries:
+    def test_point_queries_from_corpus(self, rng):
+        keys = rng.random(100)
+        queries = point_queries(keys, 500, rng)
+        assert len(queries) == 500
+        assert set(np.round(queries, 9)) <= set(np.round(keys, 9))
+
+    def test_point_queries_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            point_queries(np.array([]), 5, rng)
+
+    def test_zipf_queries_skew_popularity(self, rng):
+        keys = np.sort(rng.random(1000))
+        queries = zipf_point_queries(keys, 5000, rng, exponent=1.5)
+        # Low-rank (small) keys dominate the query stream.
+        assert np.mean(queries <= keys[99]) > 0.5
+
+    def test_zipf_queries_exponent_zero_uniform(self, rng):
+        keys = np.sort(rng.random(1000))
+        queries = zipf_point_queries(keys, 5000, rng, exponent=0.0)
+        assert np.mean(queries <= np.median(keys)) == pytest.approx(0.5, abs=0.05)
+
+    def test_zipf_queries_rejects_negative_exponent(self, rng):
+        with pytest.raises(ValueError):
+            zipf_point_queries(np.array([0.5]), 5, rng, exponent=-1)
+
+    def test_range_queries_shape(self, rng):
+        ranges = range_queries(200, rng, mean_width=0.02)
+        assert ranges.shape == (200, 2)
+        assert np.all(ranges[:, 0] < ranges[:, 1])
+        assert np.all((ranges >= 0) & (ranges <= 1))
+
+    def test_range_queries_centered_on_keys(self, rng):
+        keys = np.array([0.5])
+        ranges = range_queries(50, rng, mean_width=0.01, center_keys=keys)
+        centers = 0.5 * (ranges[:, 0] + ranges[:, 1])
+        assert np.all(np.abs(centers - 0.5) < 0.2)
+
+    def test_range_queries_rejects_bad_width(self, rng):
+        with pytest.raises(ValueError):
+            range_queries(5, rng, mean_width=0.0)
