@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entrypoint: tier-1 test suite + routing-throughput smoke.
+#
+# Usage: ./ci.sh            # lint (if ruff is available) + tests + smoke
+#        ./ci.sh --no-smoke # tests only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+if command -v ruff >/dev/null 2>&1; then
+  echo "== ruff =="
+  ruff check src tests benchmarks
+else
+  echo "== ruff not installed; skipping lint =="
+fi
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--no-smoke" ]]; then
+  echo "== routing throughput smoke (scalar vs batch, >=5x gate) =="
+  python -m pytest benchmarks/bench_routing_throughput.py -q -s
+fi
+
+echo "== ci.sh: all green =="

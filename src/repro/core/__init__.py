@@ -5,13 +5,17 @@ Public surface:
 * model builders — :func:`build_uniform_model` (Section 3),
   :func:`build_skewed_model` (Section 4, eq. (7)),
   :func:`build_naive_model` (the mis-specified baseline);
-* :func:`greedy_route` / :func:`lookahead_route` and bulk
-  :func:`sample_routes`;
+* :func:`greedy_route` / :func:`lookahead_route` (scalar reference
+  implementations) and the vectorized batch engine —
+  :func:`route_many` / :func:`sample_batch` over the cached
+  :class:`CSRAdjacency` edge arrays — behind bulk :func:`sample_routes`;
 * partition analysis of the Theorem 1 proof internals;
 * the analytic constants of the proofs (:mod:`repro.core.theory`);
 * classic Kleinberg lattices for the Section 2 background experiments.
 """
 
+from repro.core.adjacency import CSRAdjacency, build_csr
+from repro.core.batch_routing import BatchRouteResult, route_many, sample_batch
 from repro.core.builder import (
     GraphConfig,
     build_from_positions,
@@ -55,8 +59,13 @@ __all__ = [
     "FastSampler",
     "make_sampler",
     "RouteResult",
+    "BatchRouteResult",
+    "CSRAdjacency",
+    "build_csr",
     "greedy_route",
     "lookahead_route",
+    "route_many",
+    "sample_batch",
     "sample_routes",
     "partition_index",
     "trace_partitions",

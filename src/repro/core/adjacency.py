@@ -1,0 +1,163 @@
+"""Flat CSR adjacency over a small-world graph.
+
+:class:`SmallWorldGraph` stores its edges in the form the paper describes
+them: implicit ring/interval neighbour links plus a ragged per-peer list
+of long-range links.  That shape is convenient for construction but slow
+to traverse — every hop of the scalar router re-materialises neighbour
+tuples and iterates Python loops over numpy scraps.
+
+This module flattens the whole edge set once into CSR (compressed sparse
+row) arrays:
+
+* ``indptr`` — ``(n + 1,)`` int64; peer ``i``'s out-edges live in the
+  half-open slice ``indices[indptr[i]:indptr[i + 1]]``;
+* ``indices`` — ``(E,)`` int64 edge targets;
+* ``is_long`` — ``(E,)`` bool, ``True`` for long-range edges.
+
+**Row order contract:** within each row the ring/interval neighbours come
+first, in :meth:`SmallWorldGraph.neighbor_indices` order, followed by the
+long links in their stored order.  The batch router's equivalence with
+:func:`repro.core.routing.greedy_route` depends on this — the scalar
+router scans candidates in exactly that order and keeps the *first*
+strict improvement, which matches ``np.argmin``'s first-occurrence
+tie-break over a CSR row.
+
+Graphs are immutable snapshots (damage/churn helpers always build new
+instances), so the CSR is built lazily once per graph and cached with no
+invalidation protocol; see :attr:`SmallWorldGraph.adjacency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.graph import SmallWorldGraph
+
+__all__ = ["CSRAdjacency", "build_csr"]
+
+
+@dataclass(frozen=True)
+class CSRAdjacency:
+    """The flattened edge set of one graph (see module docstring).
+
+    Attributes:
+        indptr: ``(n + 1,)`` int64 row pointers.
+        indices: ``(E,)`` int64 edge targets, neighbours before long links
+            within each row.
+        is_long: ``(E,)`` bool flags marking long-range edges.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    is_long: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or len(self.indptr) == 0:
+            raise ValueError("indptr must be a non-empty 1-d array")
+        if int(self.indptr[-1]) != len(self.indices):
+            raise ValueError("indptr[-1] must equal the number of edges")
+        if len(self.indices) != len(self.is_long):
+            raise ValueError("indices and is_long must have equal length")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n
+        ):
+            raise ValueError("edge targets out of range")
+
+    @property
+    def n(self) -> int:
+        """Number of peers (rows)."""
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of directed edges."""
+        return len(self.indices)
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-peer total outdegree, as an int64 array."""
+        return np.diff(self.indptr)
+
+    def edge_sources(self) -> np.ndarray:
+        """Source peer of every edge, aligned with :attr:`indices`."""
+        return np.repeat(np.arange(self.n, dtype=np.int64), self.out_degrees())
+
+    def row(self, i: int) -> np.ndarray:
+        """Out-edge targets of peer ``i`` (neighbours first, then long)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_is_long(self, i: int) -> np.ndarray:
+        """Long-link flags aligned with :meth:`row`."""
+        return self.is_long[self.indptr[i] : self.indptr[i + 1]]
+
+    def __repr__(self) -> str:
+        return f"CSRAdjacency(n={self.n}, edges={self.n_edges})"
+
+
+def _flat_offsets(counts: np.ndarray) -> np.ndarray:
+    """Return ``[0..c0), [0..c1), ...`` concatenated for segment fills."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def _neighbor_blocks(n: int, is_ring: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(flat neighbour targets, per-peer neighbour counts)``.
+
+    Reproduces :meth:`SmallWorldGraph.neighbor_indices` for every peer at
+    once, preserving its (left, right) emission order.
+    """
+    if n <= 1:
+        return np.empty(0, dtype=np.int64), np.zeros(n, dtype=np.int64)
+    ar = np.arange(n, dtype=np.int64)
+    if is_ring:
+        if n == 2:
+            # left == right collapses to a single neighbour.
+            return np.array([1, 0], dtype=np.int64), np.ones(2, dtype=np.int64)
+        flat = np.stack([(ar - 1) % n, (ar + 1) % n], axis=1).reshape(-1)
+        return flat, np.full(n, 2, dtype=np.int64)
+    middle = np.stack([ar[1:-1] - 1, ar[1:-1] + 1], axis=1).reshape(-1)
+    flat = np.concatenate([[1], middle, [n - 2]]).astype(np.int64)
+    counts = np.full(n, 2, dtype=np.int64)
+    counts[0] = counts[-1] = 1
+    return flat, counts
+
+
+def build_csr(graph: "SmallWorldGraph") -> CSRAdjacency:
+    """Flatten ``graph``'s implicit neighbours + long links into CSR form.
+
+    Pure function of the graph snapshot; callers normally go through the
+    cached :attr:`SmallWorldGraph.adjacency` property instead.
+    """
+    n = graph.n
+    nbr_flat, nbr_counts = _neighbor_blocks(n, graph.space.is_ring)
+    long_counts = np.fromiter(
+        (len(links) for links in graph.long_links), dtype=np.int64, count=n
+    )
+    total_long = int(long_counts.sum())
+    if total_long:
+        long_flat = np.concatenate(
+            [np.asarray(links, dtype=np.int64) for links in graph.long_links]
+        )
+    else:
+        long_flat = np.empty(0, dtype=np.int64)
+
+    degrees = nbr_counts + long_counts
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    indices = np.empty(int(indptr[-1]), dtype=np.int64)
+    is_long = np.zeros(len(indices), dtype=bool)
+
+    nbr_slots = np.repeat(indptr[:-1], nbr_counts) + _flat_offsets(nbr_counts)
+    long_slots = (
+        np.repeat(indptr[:-1] + nbr_counts, long_counts) + _flat_offsets(long_counts)
+    )
+    indices[nbr_slots] = nbr_flat
+    indices[long_slots] = long_flat
+    is_long[long_slots] = True
+    return CSRAdjacency(indptr=indptr, indices=indices, is_long=is_long)

@@ -16,10 +16,14 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.keyspace import IntervalSpace, KeySpace, nearest_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.adjacency import CSRAdjacency
 
 __all__ = ["SmallWorldGraph"]
 
@@ -103,11 +107,24 @@ class SmallWorldGraph:
             [np.asarray(self.neighbor_indices(idx), dtype=np.int64), self.long_links[idx]]
         )
 
+    @property
+    def adjacency(self) -> "CSRAdjacency":
+        """The graph's flat CSR edge set (built lazily, cached forever).
+
+        Graphs are immutable snapshots — every damage/churn helper builds
+        a new instance — so the cache never needs invalidation.
+        """
+        csr = self.__dict__.get("_adjacency")
+        if csr is None:
+            from repro.core.adjacency import build_csr
+
+            csr = build_csr(self)
+            self.__dict__["_adjacency"] = csr
+        return csr
+
     def out_degrees(self) -> np.ndarray:
         """Return the per-peer total outdegree (neighbour + long links)."""
-        return np.array(
-            [len(self.neighbor_indices(i)) + len(self.long_links[i]) for i in range(self.n)]
-        )
+        return self.adjacency.out_degrees()
 
     # ------------------------------------------------------------------
     # key handling
@@ -135,12 +152,14 @@ class SmallWorldGraph:
                 proofs) rather than raw key space.
         """
         positions = self.normalized_ids if normalized else self.ids
-        lengths = []
-        for i in range(self.n):
-            src = float(positions[i])
-            for j in self.long_links[i]:
-                lengths.append(self.space.distance(src, float(positions[j])))
-        return np.asarray(lengths, dtype=float)
+        csr = self.adjacency
+        mask = csr.is_long
+        sources = csr.edge_sources()[mask]
+        targets = csr.indices[mask]
+        return np.asarray(
+            self.space.pairwise_distances(positions[sources], positions[targets]),
+            dtype=float,
+        )
 
     def total_long_links(self) -> int:
         """Return the total number of long-range edges in the graph."""

@@ -250,39 +250,39 @@ def sample_routes(
 ) -> list[RouteResult]:
     """Run ``n_routes`` lookups between random live source/target pairs.
 
+    Delegates to the vectorized batch engine
+    (:func:`repro.core.batch_routing.sample_batch`) and materialises
+    per-route :class:`RouteResult` objects with full paths.  Callers that
+    only need aggregate columns should use :func:`sample_batch` directly.
+
     Args:
         graph: the overlay to measure.
         n_routes: number of lookups.
         rng: random source.
         metric: routing metric, as in :func:`greedy_route`.
-        targets: ``"peers"`` draws an existing peer's identifier as the
-            key (the proofs' setting); ``"uniform"`` draws fresh uniform
-            keys; ``"model"`` draws keys from the graph's id population
-            with replacement plus jitter within the owner's cell.
+        targets: ``"peers"`` draws an existing live peer's identifier as
+            the key (the proofs' setting); ``"uniform"`` draws fresh
+            uniform keys; ``"model"`` resamples an existing identifier
+            with replacement and jitters it uniformly inside the gap to
+            the successor peer (so keys follow the id distribution but
+            rarely hit a peer exactly; nearest-peer ownership may
+            resolve the upper half of a gap to the successor).
         alive: optional liveness mask applied to sources and routing.
         max_hops: per-route hop budget.
 
     Raises:
         ValueError: for an unknown ``targets`` mode or no live peers.
     """
-    if targets not in ("peers", "uniform", "model"):
-        raise ValueError(f"unknown targets mode {targets!r}")
-    n = graph.n
-    live = np.flatnonzero(alive) if alive is not None else np.arange(n)
-    if len(live) == 0:
-        raise ValueError("cannot sample routes with no live peers")
-    results = []
-    for _ in range(n_routes):
-        source = int(rng.choice(live))
-        if targets == "peers":
-            target_idx = int(rng.choice(live))
-            key = float(graph.ids[target_idx])
-        elif targets == "uniform":
-            key = float(rng.random())
-        else:  # "model": resample an existing id and jitter inside its gap
-            target_idx = int(rng.integers(n))
-            key = float(graph.ids[target_idx])
-        results.append(
-            greedy_route(graph, source, key, metric=metric, alive=alive, max_hops=max_hops)
-        )
-    return results
+    from repro.core.batch_routing import sample_batch
+
+    batch = sample_batch(
+        graph,
+        n_routes,
+        rng,
+        metric=metric,
+        targets=targets,
+        alive=alive,
+        max_hops=max_hops,
+        record_paths=True,
+    )
+    return batch.to_route_results()

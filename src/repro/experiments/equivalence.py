@@ -23,7 +23,7 @@ from repro.core import (
     GraphConfig,
     build_skewed_model,
     build_uniform_model,
-    sample_routes,
+    sample_batch,
 )
 from repro.distributions import PowerLaw
 from repro.experiments.report import Column, ResultTable
@@ -50,8 +50,8 @@ def run_e7(seed: int = 0, quick: bool = False) -> ResultTable:
     lengths_gp = graph_gp.long_link_lengths(normalized=True)
     ks_links = ks_two_sample(lengths_g, lengths_gp)
 
-    hops_g = [r.hops for r in sample_routes(graph_g, n_routes, rng)]
-    hops_gp = [r.hops for r in sample_routes(graph_gp, n_routes, rng)]
+    hops_g = sample_batch(graph_g, n_routes, rng).hops
+    hops_gp = sample_batch(graph_gp, n_routes, rng).hops
     mean_g, lo_g, hi_g = bootstrap_mean_ci(hops_g, rng)
     mean_gp, lo_gp, hi_gp = bootstrap_mean_ci(hops_gp, rng)
 
@@ -61,7 +61,7 @@ def run_e7(seed: int = 0, quick: bool = False) -> ResultTable:
     ks_samplers = ks_two_sample(
         lengths_g, graph_exact.long_link_lengths(normalized=True)
     )
-    hops_exact = [r.hops for r in sample_routes(graph_exact, n_routes, rng)]
+    hops_exact = sample_batch(graph_exact, n_routes, rng).hops
     mean_ex, lo_ex, hi_ex = bootstrap_mean_ci(hops_exact, rng)
 
     table = ResultTable(

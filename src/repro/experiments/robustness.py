@@ -20,7 +20,7 @@ import math
 
 import numpy as np
 
-from repro.core import build_uniform_model, sample_routes
+from repro.core import build_uniform_model, sample_batch
 from repro.experiments.report import Column, ResultTable
 from repro.overlay import drop_long_links, kill_peers, summarize_lookups
 
@@ -48,7 +48,7 @@ def run_e9(seed: int = 0, quick: bool = False) -> list[ResultTable]:
     fractions = [0.0, 0.5, 0.9] if quick else [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95]
     for fraction in fractions:
         damaged = drop_long_links(graph, fraction, rng)
-        stats = summarize_lookups(sample_routes(damaged, n_routes, rng))
+        stats = summarize_lookups(sample_batch(damaged, n_routes, rng))
         loss_table.add_row(
             loss=fraction,
             hops=stats.mean_hops,
@@ -73,9 +73,9 @@ def run_e9(seed: int = 0, quick: bool = False) -> list[ResultTable]:
     fail_fractions = [0.0, 0.1, 0.3] if quick else [0.0, 0.05, 0.1, 0.2, 0.3, 0.5]
     for fraction in fail_fractions:
         alive = kill_peers(graph, fraction, rng)
-        routes = sample_routes(graph, n_routes, rng, alive=alive)
-        stats = summarize_lookups(routes)
-        stuck = float(np.mean([r.reason == "stuck" for r in routes]))
+        batch = sample_batch(graph, n_routes, rng, alive=alive)
+        stats = summarize_lookups(batch)
+        stuck = float(np.mean(batch.reasons == "stuck"))
         fail_table.add_row(
             dead=fraction,
             hops=stats.mean_hops,

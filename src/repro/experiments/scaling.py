@@ -21,7 +21,7 @@ from repro.core import (
     build_skewed_model,
     build_uniform_model,
     expected_hops_bound,
-    sample_routes,
+    sample_batch,
 )
 from repro.distributions import default_suite
 from repro.experiments.report import Column, ResultTable
@@ -56,12 +56,11 @@ def run_e1(seed: int = 0, quick: bool = False) -> ResultTable:
     interval_means = []
     for n in _population_sizes(quick):
         graph_i = build_uniform_model(n=n, rng=rng)
-        routes_i = sample_routes(graph_i, n_routes, rng)
-        stats_i = summarize_lookups(routes_i)
+        stats_i = summarize_lookups(sample_batch(graph_i, n_routes, rng))
         graph_r = build_uniform_model(
             n=n, rng=rng, config=GraphConfig(space=RingSpace())
         )
-        stats_r = summarize_lookups(sample_routes(graph_r, n_routes, rng))
+        stats_r = summarize_lookups(sample_batch(graph_r, n_routes, rng))
         interval_means.append(stats_i.mean_hops)
         table.add_row(
             n=n,
@@ -109,11 +108,11 @@ def run_e5(seed: int = 0, quick: bool = False) -> ResultTable:
                 graph = build_uniform_model(n=n, rng=rng)
             else:
                 graph = build_skewed_model(dist, n=n, rng=rng)
-            stats = summarize_lookups(sample_routes(graph, n_routes, rng))
+            stats = summarize_lookups(sample_batch(graph, n_routes, rng))
             means.append(stats.mean_hops)
             if n == sizes[-1]:
                 norm_stats = summarize_lookups(
-                    sample_routes(graph, n_routes, rng, metric="normalized")
+                    sample_batch(graph, n_routes, rng, metric="normalized")
                 )
                 norm_metric_hops = norm_stats.mean_hops
         fit = fit_log_slope(sizes, means)

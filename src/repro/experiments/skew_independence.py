@@ -28,7 +28,7 @@ from repro.baselines import (
     PGridOverlay,
     measure_overlay,
 )
-from repro.core import build_naive_model, build_skewed_model, sample_routes
+from repro.core import build_naive_model, build_skewed_model, sample_batch
 from repro.distributions import make_skewed, skew_metric
 from repro.experiments.report import Column, ResultTable
 from repro.overlay import summarize_lookups
@@ -72,9 +72,9 @@ def run_e6(
             extra = dist.sample(n - len(ids), rng)
             ids = np.unique(np.concatenate([ids, extra]))
         model = build_skewed_model(dist, rng=rng, ids=ids)
-        model_stats = summarize_lookups(sample_routes(model, n_routes, rng))
+        model_stats = summarize_lookups(sample_batch(model, n_routes, rng))
         naive = build_naive_model(dist, rng=rng, ids=ids)
-        naive_stats = summarize_lookups(sample_routes(naive, n_routes, rng))
+        naive_stats = summarize_lookups(sample_batch(naive, n_routes, rng))
         chord = ChordOverlay(ids)
         chord_stats = measure_overlay(chord, n_routes, rng, target_ids=chord.ids)
         pastry = PastryOverlay(ids, rng)

@@ -19,7 +19,7 @@ import math
 import numpy as np
 
 from repro.baselines import SymphonyOverlay, measure_overlay
-from repro.core import GraphConfig, build_uniform_model, sample_routes
+from repro.core import GraphConfig, build_uniform_model, sample_batch
 from repro.experiments.report import Column, ResultTable
 from repro.overlay import summarize_lookups
 
@@ -49,7 +49,7 @@ def run_e4(seed: int = 0, quick: bool = False) -> ResultTable:
         graph = build_uniform_model(
             rng=rng, ids=ids, config=GraphConfig(out_degree=k)
         )
-        stats = summarize_lookups(sample_routes(graph, n_routes, rng))
+        stats = summarize_lookups(sample_batch(graph, n_routes, rng))
         symphony = SymphonyOverlay(ids, rng, k=k)
         symph_stats = measure_overlay(
             symphony, n_routes, rng, target_ids=symphony.ids

@@ -23,7 +23,7 @@ import math
 
 import numpy as np
 
-from repro.core import build_skewed_model, build_uniform_model, sample_routes
+from repro.core import build_skewed_model, build_uniform_model, sample_batch
 from repro.distributions import PowerLaw
 from repro.experiments.report import Column, ResultTable
 
@@ -31,9 +31,7 @@ __all__ = ["run_e14"]
 
 
 def _hop_stats(graph, n_routes, rng) -> dict:
-    hops = np.asarray(
-        [r.hops for r in sample_routes(graph, n_routes, rng)], dtype=float
-    )
+    hops = sample_batch(graph, n_routes, rng).hops.astype(float)
     mean = float(hops.mean())
     return {
         "mean": mean,

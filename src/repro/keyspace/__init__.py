@@ -19,13 +19,19 @@ from repro.keyspace.ids import (
 )
 from repro.keyspace.interval import IntervalSpace
 from repro.keyspace.ring import RingSpace
-from repro.keyspace.search import nearest_index, predecessor_index, successor_index
+from repro.keyspace.search import (
+    nearest_index,
+    nearest_indices,
+    predecessor_index,
+    successor_index,
+)
 
 __all__ = [
     "KeySpace",
     "IntervalSpace",
     "RingSpace",
     "nearest_index",
+    "nearest_indices",
     "successor_index",
     "predecessor_index",
     "binary_digits",

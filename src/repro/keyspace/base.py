@@ -87,6 +87,23 @@ class KeySpace(ABC):
     def distances(self, a: np.ndarray, b: float) -> np.ndarray:
         """Vectorised :meth:`distance` between an array ``a`` and scalar ``b``."""
 
+    def pairwise_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`distance` between broadcastable arrays ``a``, ``b``.
+
+        The batch routing engine relies on this being bit-identical to
+        calling :meth:`distance` on each pair, so subclasses must override
+        it with the same IEEE operations applied through numpy ufuncs.
+        The base implementation is a slow scalar fallback for third-party
+        subclasses that only define :meth:`distance`.
+        """
+        a = np.asarray(a, dtype=float)
+        b = np.asarray(b, dtype=float)
+        a, b = np.broadcast_arrays(a, b)
+        out = np.empty(a.shape, dtype=float)
+        for idx in np.ndindex(a.shape):
+            out[idx] = self.distance(float(a[idx]), float(b[idx]))
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"
 

@@ -40,3 +40,7 @@ class IntervalSpace(KeySpace):
     def distances(self, a: np.ndarray, b: float) -> np.ndarray:
         """Vectorised absolute difference ``|a - b|``."""
         return np.abs(np.asarray(a, dtype=float) - b)
+
+    def pairwise_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise ``|a - b|`` with broadcasting."""
+        return np.abs(np.asarray(a, dtype=float) - np.asarray(b, dtype=float))

@@ -58,3 +58,8 @@ class RingSpace(KeySpace):
         """Vectorised circular distance between array ``a`` and scalar ``b``."""
         gap = np.abs(np.asarray(a, dtype=float) - b)
         return np.minimum(gap, 1.0 - gap)
+
+    def pairwise_distances(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise circular distance with broadcasting."""
+        gap = np.abs(np.asarray(a, dtype=float) - np.asarray(b, dtype=float))
+        return np.minimum(gap, 1.0 - gap)

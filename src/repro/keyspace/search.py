@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.keyspace.base import KeySpace
 
-__all__ = ["nearest_index", "successor_index", "predecessor_index"]
+__all__ = ["nearest_index", "nearest_indices", "successor_index", "predecessor_index"]
 
 
 def nearest_index(sorted_ids: np.ndarray, key: float, space: KeySpace) -> int:
@@ -48,6 +48,42 @@ def nearest_index(sorted_ids: np.ndarray, key: float, space: KeySpace) -> int:
             best = idx
             best_dist = dist
     return int(best)
+
+
+def nearest_indices(
+    sorted_ids: np.ndarray, keys: np.ndarray, space: KeySpace
+) -> np.ndarray:
+    """Vectorised :func:`nearest_index` over an array of lookup keys.
+
+    Produces, for every key, exactly the index the scalar function would
+    return — including the lower-identifier tie-break — so batch routing
+    and scalar routing agree on ownership.
+
+    Args:
+        sorted_ids: one-dimensional *sorted* array of identifiers.
+        keys: lookup keys in ``[0, 1)``.
+        space: the key-space geometry deciding the metric.
+
+    Raises:
+        ValueError: if ``sorted_ids`` is empty.
+    """
+    n = len(sorted_ids)
+    if n == 0:
+        raise ValueError("cannot search an empty identifier set")
+    keys = np.asarray(keys, dtype=float)
+    pos = np.searchsorted(sorted_ids, keys)
+    if space.is_ring:
+        first = (pos - 1) % n
+        second = pos % n
+    else:
+        first = np.clip(pos - 1, 0, n - 1)
+        second = np.clip(pos, 0, n - 1)
+    dist_first = space.pairwise_distances(sorted_ids[first], keys)
+    dist_second = space.pairwise_distances(sorted_ids[second], keys)
+    take_second = (dist_second < dist_first) | (
+        (dist_second == dist_first) & (sorted_ids[second] < sorted_ids[first])
+    )
+    return np.where(take_second, second, first).astype(np.int64)
 
 
 def successor_index(sorted_ids: np.ndarray, key: float) -> int:

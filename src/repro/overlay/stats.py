@@ -35,26 +35,38 @@ class LookupStats:
 
 
 def summarize_lookups(results) -> LookupStats:
-    """Aggregate a list of route/lookup results into :class:`LookupStats`.
+    """Aggregate route/lookup results into :class:`LookupStats`.
 
-    Works for both :class:`repro.core.RouteResult` (snapshot graphs) and
-    :class:`repro.overlay.LookupResult` (live networks) — the fields
-    relied upon are shared.
+    Accepts a list of :class:`repro.core.RouteResult` (snapshot graphs)
+    or :class:`repro.overlay.LookupResult` (live networks) — the fields
+    relied upon are shared — as well as a
+    :class:`repro.core.BatchRouteResult`, whose column arrays are
+    aggregated directly without materialising per-route objects.
 
     Raises:
-        ValueError: on an empty result list.
+        ValueError: on an empty result list/batch.
     """
-    if not results:
+    if len(results) == 0:
         raise ValueError("no results to summarise")
-    hops = np.asarray([r.hops for r in results], dtype=float)
+    if isinstance(getattr(results, "hops", None), np.ndarray):
+        # Batch result: columns are already arrays.
+        hops = results.hops.astype(float)
+        success = results.success.astype(float)
+        long_hops = results.long_hops.astype(float)
+        neighbor_hops = results.neighbor_hops.astype(float)
+    else:
+        hops = np.asarray([r.hops for r in results], dtype=float)
+        success = np.asarray([r.success for r in results], dtype=float)
+        long_hops = np.asarray([r.long_hops for r in results], dtype=float)
+        neighbor_hops = np.asarray([r.neighbor_hops for r in results], dtype=float)
     return LookupStats(
         n=len(results),
         mean_hops=float(hops.mean()),
         p95_hops=float(np.percentile(hops, 95)),
         max_hops=int(hops.max()),
-        success_rate=float(np.mean([r.success for r in results])),
-        mean_long_hops=float(np.mean([r.long_hops for r in results])),
-        mean_neighbor_hops=float(np.mean([r.neighbor_hops for r in results])),
+        success_rate=float(success.mean()),
+        mean_long_hops=float(long_hops.mean()),
+        mean_neighbor_hops=float(neighbor_hops.mean()),
     )
 
 

@@ -1,0 +1,112 @@
+"""Unit tests for the CSR adjacency layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CSRAdjacency,
+    GraphConfig,
+    build_csr,
+    build_uniform_model,
+)
+from repro.keyspace import IntervalSpace, RingSpace
+
+
+def _graphs_for(rng):
+    """A spread of shapes: both spaces, tiny to medium, zero outdegree."""
+    return [
+        build_uniform_model(n=1, rng=rng),
+        build_uniform_model(n=2, rng=rng),
+        build_uniform_model(n=2, rng=rng, config=GraphConfig(space=RingSpace())),
+        build_uniform_model(n=3, rng=rng, config=GraphConfig(space=RingSpace())),
+        build_uniform_model(n=50, rng=rng),
+        build_uniform_model(n=50, rng=rng, config=GraphConfig(space=RingSpace())),
+        build_uniform_model(n=40, rng=rng, config=GraphConfig(out_degree=0)),
+        build_uniform_model(n=200, rng=rng),
+    ]
+
+
+class TestBuildCSR:
+    def test_rows_match_out_links_order(self, rng):
+        """Each CSR row = neighbour_indices order, then long links in order."""
+        for graph in _graphs_for(rng):
+            csr = graph.adjacency
+            for i in range(graph.n):
+                expected = list(graph.neighbor_indices(i)) + [
+                    int(j) for j in graph.long_links[i]
+                ]
+                assert csr.row(i).tolist() == expected, (graph, i)
+
+    def test_is_long_flags(self, rng):
+        for graph in _graphs_for(rng):
+            csr = graph.adjacency
+            for i in range(graph.n):
+                n_nbrs = len(graph.neighbor_indices(i))
+                flags = csr.row_is_long(i)
+                assert not flags[:n_nbrs].any()
+                assert flags[n_nbrs:].all()
+
+    def test_edge_totals(self, rng):
+        for graph in _graphs_for(rng):
+            csr = graph.adjacency
+            assert int(csr.is_long.sum()) == graph.total_long_links()
+            assert csr.n == graph.n
+            assert csr.n_edges == int(csr.indptr[-1])
+
+    def test_edge_sources_aligned(self, rng):
+        graph = build_uniform_model(n=60, rng=rng)
+        csr = graph.adjacency
+        sources = csr.edge_sources()
+        for i in range(graph.n):
+            assert (sources[csr.indptr[i] : csr.indptr[i + 1]] == i).all()
+
+    def test_cached_once_per_graph(self, rng):
+        graph = build_uniform_model(n=30, rng=rng)
+        assert graph.adjacency is graph.adjacency
+        rebuilt = build_csr(graph)
+        assert rebuilt is not graph.adjacency
+        assert np.array_equal(rebuilt.indices, graph.adjacency.indices)
+
+    def test_validation_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CSRAdjacency(
+                indptr=np.array([0, 2], dtype=np.int64),
+                indices=np.array([0], dtype=np.int64),
+                is_long=np.array([False]),
+            )
+        with pytest.raises(ValueError):
+            CSRAdjacency(
+                indptr=np.array([0, 1], dtype=np.int64),
+                indices=np.array([5], dtype=np.int64),  # out of range for n=1
+                is_long=np.array([False]),
+            )
+
+
+class TestVectorizedGraphHelpers:
+    def test_out_degrees_match_loop(self, rng):
+        for graph in _graphs_for(rng):
+            expected = [
+                len(graph.neighbor_indices(i)) + len(graph.long_links[i])
+                for i in range(graph.n)
+            ]
+            assert graph.out_degrees().tolist() == expected
+
+    @pytest.mark.parametrize("normalized", [True, False])
+    def test_long_link_lengths_match_loop(self, rng, normalized):
+        for graph in _graphs_for(rng):
+            positions = graph.normalized_ids if normalized else graph.ids
+            expected = []
+            for i in range(graph.n):
+                src = float(positions[i])
+                for j in graph.long_links[i]:
+                    expected.append(graph.space.distance(src, float(positions[j])))
+            got = graph.long_link_lengths(normalized=normalized)
+            assert np.array_equal(got, np.asarray(expected, dtype=float))
+
+    def test_interval_endpoints_single_neighbor(self, rng):
+        graph = build_uniform_model(
+            n=10, rng=rng, config=GraphConfig(space=IntervalSpace(), out_degree=0)
+        )
+        degrees = graph.out_degrees()
+        assert degrees[0] == 1 and degrees[-1] == 1
+        assert (degrees[1:-1] == 2).all()
