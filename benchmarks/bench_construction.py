@@ -1,8 +1,110 @@
-"""E10 — Sec. 4.2 construction protocols (table + join kernels)."""
+"""E10 — Sec. 4.2 construction protocols, plus the bulk-engine gates.
 
+Two halves:
+
+* the E10 protocol-comparison table and join kernels (as before);
+* the bulk construction engine's throughput gates — bulk vs scalar
+  ``FastSampler`` at n = 1e5 (must be >= 5x) and a million-peer
+  end-to-end build (links + CSR in one call).  Each gated run appends a
+  trajectory entry to ``benchmarks/results/BENCH_construction.json`` so
+  construction throughput is tracked across PRs.  ``ci.sh`` runs the
+  gates as a smoke via ``-k bulk``.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core import GraphConfig, build_uniform_model, default_out_degree
 from repro.distributions import PowerLaw
 from repro.experiments import run_experiment
 from repro.overlay import bootstrap_network, join_adaptive, join_known_f
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY = RESULTS_DIR / "BENCH_construction.json"
+
+N_GATE = 100_000
+N_MILLION = 1_000_000
+
+
+def _record_trajectory(entry: dict) -> None:
+    """Append one measurement to the construction-throughput trajectory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = json.loads(TRAJECTORY.read_text()) if TRAJECTORY.exists() else []
+    history.append(entry)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_bulk_speedup_over_scalar_build():
+    """bulk_links must build >= 5x faster than the scalar FastSampler at n=1e5."""
+    rng = np.random.default_rng(0)
+    ids = np.sort(np.random.default_rng(1).random(N_GATE))
+
+    start = time.perf_counter()
+    graph_scalar = build_uniform_model(
+        ids=ids, rng=rng, config=GraphConfig(sampler="fast")
+    )
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    graph_bulk = build_uniform_model(ids=ids, rng=rng)  # default: sampler="bulk"
+    bulk_seconds = time.perf_counter() - start
+
+    speedup = scalar_seconds / bulk_seconds
+    print(
+        f"\nconstruction, n={N_GATE}: scalar {scalar_seconds:.2f}s, "
+        f"bulk {bulk_seconds:.2f}s (links + CSR), speedup {speedup:.1f}x"
+    )
+
+    # Same population, same budget: the engines must agree on shape
+    # before speed means anything.
+    assert graph_bulk.n == graph_scalar.n == N_GATE
+    assert "_adjacency" in graph_bulk.__dict__, "bulk graph must be born with CSR"
+    assert graph_bulk.total_long_links() == graph_scalar.total_long_links()
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": "bulk_vs_scalar",
+            "n": N_GATE,
+            "scalar_seconds": round(scalar_seconds, 4),
+            "bulk_seconds": round(bulk_seconds, 4),
+            "speedup": round(speedup, 2),
+            "edges": int(graph_bulk.adjacency.n_edges),
+        }
+    )
+    assert speedup >= 5.0
+
+
+def test_bulk_million_peer_build():
+    """End-to-end n=1e6 build: links + CSR adjacency in one bulk pass."""
+    rng = np.random.default_rng(0)
+    start = time.perf_counter()
+    graph = build_uniform_model(n=N_MILLION, rng=rng)
+    seconds = time.perf_counter() - start
+    assert graph.n == N_MILLION
+    assert "_adjacency" in graph.__dict__, "bulk graph must be born with CSR"
+    csr = graph.adjacency
+    assert csr.n == N_MILLION
+    # round(log2(1e6)) = 20 long links per peer, all installed; even the
+    # interval endpoints (one implicit neighbour) carry k + 1 out-edges.
+    k = default_out_degree(N_MILLION)
+    degrees = csr.out_degrees()
+    assert int(degrees.min()) >= k + 1
+    print(
+        f"\nmillion-peer bulk build: {seconds:.1f}s, "
+        f"{csr.n_edges} edges ({csr.n_edges / seconds / 1e6:.1f}M edges/s)"
+    )
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": "million_peer_build",
+            "n": N_MILLION,
+            "seconds": round(seconds, 2),
+            "edges": int(csr.n_edges),
+        }
+    )
 
 
 def test_e10_table(benchmark, table_sink):

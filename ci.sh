@@ -21,6 +21,9 @@ python -m pytest -x -q
 if [[ "${1:-}" != "--no-smoke" ]]; then
   echo "== routing throughput smoke (scalar vs batch, >=5x gate) =="
   python -m pytest benchmarks/bench_routing_throughput.py -q -s
+
+  echo "== construction throughput smoke (scalar vs bulk, >=5x gate + 1e6 build) =="
+  python -m pytest benchmarks/bench_construction.py -q -s -k bulk
 fi
 
 echo "== ci.sh: all green =="

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineOverlay
 from repro.core.routing import RouteResult
-from repro.keyspace import mix_hash, successor_index
+from repro.keyspace import mix_hash, successor_index, successor_indices
 
 __all__ = ["ChordOverlay"]
 
@@ -56,14 +56,16 @@ class ChordOverlay(BaselineOverlay):
         self._build_fingers()
 
     def _build_fingers(self) -> None:
+        """Resolve all ``n·m`` fingers in one bulk successor pass.
+
+        :func:`repro.keyspace.successor_indices` over the whole
+        finger-point matrix — the same whole-population construction
+        style as :mod:`repro.core.bulk_construction`.
+        """
         n = len(self.ids)
         offsets = 2.0 ** (-np.arange(1, self.m + 1))  # 1/2, 1/4, ..., 2^-m
-        fingers = np.empty((n, self.m), dtype=np.int64)
-        for u in range(n):
-            points = (self.ids[u] + offsets) % 1.0
-            for j, point in enumerate(points):
-                fingers[u, j] = successor_index(self.ids, float(point))
-        self.fingers = fingers
+        points = (self.ids[:, None] + offsets[None, :]) % 1.0
+        self.fingers = successor_indices(self.ids, points.ravel()).reshape(n, self.m)
 
     @property
     def n(self) -> int:

@@ -20,8 +20,9 @@ import math
 import numpy as np
 
 from repro.baselines.base import BaselineOverlay, greedy_value_route
+from repro.core.bulk_construction import merge_row_pairs, row_counts, split_rows
 from repro.core.routing import RouteResult
-from repro.keyspace import RingSpace, nearest_index, successor_index
+from repro.keyspace import RingSpace, nearest_index, successor_indices
 
 __all__ = ["SymphonyOverlay"]
 
@@ -62,21 +63,37 @@ class SymphonyOverlay(BaselineOverlay):
         self._build_links(rng)
 
     def _build_links(self, rng: np.random.Generator) -> None:
+        """Draw every peer's harmonic links in whole-population rounds.
+
+        Same primitives as :func:`repro.core.bulk_construction.bulk_links`:
+        draw all outstanding spans at once (``x = N^(q-1)`` lands in
+        ``[1/N, 1]``), resolve successors with one ``searchsorted``,
+        dedupe rows on ``row·n + target`` keys, and redraw only the
+        deficit — within the scalar builder's 8-attempts-per-link budget.
+        """
         n = self.n
-        links: list[np.ndarray] = []
-        for u in range(n):
-            chosen: set[int] = set()
-            attempts = 0
-            while len(chosen) < self.k and attempts < 8 * max(self.k, 1):
-                attempts += 1
-                # Harmonic draw: x = N^(q-1) lands in [1/N, 1].
-                span = float(n ** (rng.random() - 1.0))
-                point = (float(self.ids[u]) + span) % 1.0
-                target = successor_index(self.ids, point)
-                if target != u:
-                    chosen.add(target)
-            links.append(np.asarray(sorted(chosen), dtype=np.int64))
-        self.long_links = links
+        budget = 8 * max(self.k, 1)  # the scalar builder's attempts cap
+        all_rows = np.arange(n, dtype=np.int64)
+        need = np.full(n, self.k, dtype=np.int64)
+        attempts = np.zeros(n, dtype=np.int64)
+        accepted = np.empty(0, dtype=np.int64)
+        while True:
+            # Never draw past the per-peer cap, exactly as the scalar
+            # loop stopped at its attempts counter.
+            draws = np.minimum(need, budget - attempts)
+            active = draws > 0
+            if not active.any():
+                break
+            attempts[active] += draws[active]
+            rows = np.repeat(all_rows[active], draws[active])
+            spans = n ** (rng.random(len(rows)) - 1.0)
+            points = (self.ids[rows] + spans) % 1.0
+            targets = successor_indices(self.ids, points)
+            ok = targets != rows
+            accepted = merge_row_pairs(accepted, rows[ok], targets[ok], n)
+            need = self.k - row_counts(accepted, n)
+        indptr, flat = split_rows(accepted, n)
+        self.long_links = np.split(flat, indptr[1:-1])
 
     @property
     def n(self) -> int:

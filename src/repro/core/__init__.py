@@ -4,7 +4,10 @@ Public surface:
 
 * model builders — :func:`build_uniform_model` (Section 3),
   :func:`build_skewed_model` (Section 4, eq. (7)),
-  :func:`build_naive_model` (the mis-specified baseline);
+  :func:`build_naive_model` (the mis-specified baseline) — all defaulting
+  to the whole-population bulk construction engine
+  (:mod:`repro.core.bulk_construction`: :func:`bulk_links` /
+  :func:`bulk_exact_links` with direct-to-CSR assembly);
 * :func:`greedy_route` / :func:`lookahead_route` (scalar reference
   implementations) and the vectorized batch engine —
   :func:`route_many` / :func:`sample_batch` over the cached
@@ -14,8 +17,14 @@ Public surface:
 * classic Kleinberg lattices for the Section 2 background experiments.
 """
 
-from repro.core.adjacency import CSRAdjacency, build_csr
+from repro.core.adjacency import CSRAdjacency, build_csr, csr_from_flat_links
 from repro.core.batch_routing import BatchRouteResult, route_many, sample_batch
+from repro.core.bulk_construction import (
+    bulk_exact_links,
+    bulk_harmonic_positions,
+    bulk_links,
+    symmetrize_flat,
+)
 from repro.core.builder import (
     GraphConfig,
     build_from_positions,
@@ -62,6 +71,11 @@ __all__ = [
     "BatchRouteResult",
     "CSRAdjacency",
     "build_csr",
+    "csr_from_flat_links",
+    "bulk_links",
+    "bulk_exact_links",
+    "bulk_harmonic_positions",
+    "symmetrize_flat",
     "greedy_route",
     "lookahead_route",
     "route_many",

@@ -37,7 +37,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.graph import SmallWorldGraph
 
-__all__ = ["CSRAdjacency", "build_csr"]
+__all__ = ["CSRAdjacency", "build_csr", "csr_from_flat_links"]
 
 
 @dataclass(frozen=True)
@@ -135,7 +135,6 @@ def build_csr(graph: "SmallWorldGraph") -> CSRAdjacency:
     cached :attr:`SmallWorldGraph.adjacency` property instead.
     """
     n = graph.n
-    nbr_flat, nbr_counts = _neighbor_blocks(n, graph.space.is_ring)
     long_counts = np.fromiter(
         (len(links) for links in graph.long_links), dtype=np.int64, count=n
     )
@@ -146,7 +145,29 @@ def build_csr(graph: "SmallWorldGraph") -> CSRAdjacency:
         )
     else:
         long_flat = np.empty(0, dtype=np.int64)
+    return csr_from_flat_links(n, graph.space.is_ring, long_counts, long_flat)
 
+
+def csr_from_flat_links(
+    n: int, is_ring: bool, long_counts: np.ndarray, long_flat: np.ndarray
+) -> CSRAdjacency:
+    """Assemble the full CSR directly from flat per-peer long-link rows.
+
+    This is the direct path used by the bulk construction engine
+    (:mod:`repro.core.bulk_construction`): peer ``i``'s long links are
+    ``long_flat[cum(long_counts)[i] : cum(long_counts)[i+1]]``, and the
+    implicit ring/interval neighbours are synthesised in place — no
+    ragged per-node arrays are ever materialised.
+
+    Args:
+        n: number of peers.
+        is_ring: key-space topology (decides the implicit neighbours).
+        long_counts: ``(n,)`` per-peer long-link counts.
+        long_flat: ``(E_long,)`` concatenated long-link targets.
+    """
+    nbr_flat, nbr_counts = _neighbor_blocks(n, is_ring)
+    long_counts = np.asarray(long_counts, dtype=np.int64)
+    long_flat = np.asarray(long_flat, dtype=np.int64)
     degrees = nbr_counts + long_counts
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(degrees, out=indptr[1:])

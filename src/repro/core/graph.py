@@ -67,6 +67,46 @@ class SmallWorldGraph:
         if np.any(np.diff(self.ids) < 0):
             raise ValueError("ids must be sorted")
 
+    @classmethod
+    def from_flat_links(
+        cls,
+        ids: np.ndarray,
+        normalized_ids: np.ndarray,
+        long_indptr: np.ndarray,
+        long_flat: np.ndarray,
+        space: KeySpace | None = None,
+        normalize: Callable[[float], float] = float,
+        model: str = "custom",
+        cutoff_mass: float = 0.0,
+    ) -> "SmallWorldGraph":
+        """Build a graph from CSR-style flat long-link rows.
+
+        This is the bulk construction engine's entry point
+        (:mod:`repro.core.bulk_construction`): peer ``i``'s long links
+        are ``long_flat[long_indptr[i]:long_indptr[i+1]]``.  The per-peer
+        ``long_links`` arrays become zero-copy views into ``long_flat``,
+        and the CSR adjacency cache is populated directly from the flat
+        rows, so the graph is born with its edge arrays ready instead of
+        re-deriving them from per-node arrays on first use.
+        """
+        long_indptr = np.asarray(long_indptr, dtype=np.int64)
+        long_flat = np.asarray(long_flat, dtype=np.int64)
+        graph = cls(
+            ids=ids,
+            normalized_ids=normalized_ids,
+            long_links=np.split(long_flat, long_indptr[1:-1]),
+            space=space or IntervalSpace(),
+            normalize=normalize,
+            model=model,
+            cutoff_mass=cutoff_mass,
+        )
+        from repro.core.adjacency import csr_from_flat_links
+
+        graph.__dict__["_adjacency"] = csr_from_flat_links(
+            graph.n, graph.space.is_ring, np.diff(long_indptr), long_flat
+        )
+        return graph
+
     # ------------------------------------------------------------------
     # basic shape
     # ------------------------------------------------------------------

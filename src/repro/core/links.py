@@ -24,6 +24,16 @@ this:
     an approximation of the paper but its own recommended realisation.
     Experiment E7 confirms the two samplers produce statistically
     indistinguishable graphs.
+
+Both are *scalar reference paths*: production construction goes through
+the whole-population vectorized engine in
+:mod:`repro.core.bulk_construction` (``GraphConfig(sampler="bulk")``,
+the default).  :func:`harmonic_target_positions` — the protocol-level
+helper the live join/maintenance code draws from — delegates to the
+bulk kernel so that path cannot drift; :class:`FastSampler` keeps its
+own *deliberately independent* scalar transcription of the same draw,
+so the bulk↔scalar statistical-equivalence tests compare two separate
+implementations rather than a kernel against itself.
 """
 
 from __future__ import annotations
@@ -61,31 +71,30 @@ def harmonic_target_positions(
     :class:`FastSampler` applies the same draw and resolves targets
     directly; live protocols resolve them by routing.
 
+    Delegates to the vectorized kernel
+    :func:`repro.core.bulk_construction.bulk_harmonic_positions` with a
+    ``k``-sized call, so the scalar and bulk paths share one draw formula
+    (and one interval clamp) and cannot drift.
+
     Returns an empty array when no side has mass beyond the cutoff.
 
     Raises:
         ValueError: for non-positive ``cutoff`` or negative ``k``.
     """
+    from repro.core.bulk_construction import bulk_harmonic_positions
+
     if cutoff <= 0:
         raise ValueError(f"cutoff must be > 0, got {cutoff}")
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
-    left_span, right_span = space.spans(position)
-    log_left = math.log(left_span / cutoff) if left_span > cutoff else 0.0
-    log_right = math.log(right_span / cutoff) if right_span > cutoff else 0.0
-    total = log_left + log_right
-    if total <= 0.0 or k == 0:
+    if k == 0:
         return np.empty(0, dtype=float)
-    out = np.empty(k, dtype=float)
-    for i in range(k):
-        go_left = rng.random() * total < log_left
-        span = left_span if go_left else right_span
-        distance = cutoff * (span / cutoff) ** rng.random()
-        target = space.shift(position, -distance if go_left else distance)
-        if not space.is_ring:
-            target = min(max(target, 0.0), np.nextafter(1.0, 0.0))
-        out[i] = target
-    return out
+    targets, valid = bulk_harmonic_positions(
+        np.full(k, float(position)), cutoff, space, rng
+    )
+    if not valid.all():
+        return np.empty(0, dtype=float)
+    return targets
 
 
 class LinkSampler(ABC):
@@ -260,19 +269,28 @@ class FastSampler(LinkSampler):
         space: KeySpace,
         chosen: set[int],
     ) -> int | None:
-        """Deterministically scan outward from ``idx`` for any valid target."""
-        n = len(positions)
-        for step in range(1, n):
-            for j in ((idx + step) % n, (idx - step) % n):
-                if not space.is_ring and abs(idx - j) != step:
-                    continue  # interval: the wrapped index is not a real peer offset
-                if self._valid(positions, idx, j, p, cutoff, space, chosen):
-                    return j
+        """Deterministically scan outward from ``idx`` for any valid target.
+
+        Shares the scan order with the bulk engine's fallback via
+        :func:`repro.core.bulk_construction.outward_candidate_indices`,
+        so the two engines' degenerate-population behaviour cannot
+        drift.
+        """
+        from repro.core.bulk_construction import outward_candidate_indices
+
+        for j in outward_candidate_indices(idx, len(positions), space.is_ring):
+            if self._valid(positions, idx, j, p, cutoff, space, chosen):
+                return j
         return None
 
 
 def make_sampler(kind: str, dedupe: bool = True, max_retries: int = 64) -> LinkSampler:
-    """Return a sampler by name (``"fast"`` or ``"exact"``).
+    """Return a *scalar* sampler by name (``"fast"`` or ``"exact"``).
+
+    The population-level ``"bulk"`` / ``"exact-bulk"`` engines
+    (:mod:`repro.core.bulk_construction`) have no per-peer strategy
+    object; :func:`repro.core.build_from_positions` dispatches to them
+    directly.
 
     Raises:
         ValueError: for an unknown sampler name.
@@ -281,4 +299,7 @@ def make_sampler(kind: str, dedupe: bool = True, max_retries: int = 64) -> LinkS
         return FastSampler(max_retries=max_retries, dedupe=dedupe)
     if kind == "exact":
         return ExactSampler(dedupe=dedupe)
-    raise ValueError(f"unknown sampler {kind!r}; choose 'fast' or 'exact'")
+    raise ValueError(
+        f"unknown scalar sampler {kind!r}; choose 'fast' or 'exact' "
+        "('bulk'/'exact-bulk' are population-level and handled by the builder)"
+    )

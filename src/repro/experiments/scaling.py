@@ -32,9 +32,12 @@ __all__ = ["run_e1", "run_e5"]
 
 
 def _population_sizes(quick: bool) -> list[int]:
+    # Full mode reaches n >= 1e5: the bulk construction engine
+    # (repro.core.bulk_construction) builds these populations in seconds,
+    # so Theorem 1/2 scaling is observable well beyond the old 16k cap.
     if quick:
         return [128, 256, 512, 1024]
-    return [256, 512, 1024, 2048, 4096, 8192, 16384]
+    return [256, 1024, 4096, 16384, 65536, 131072, 262144]
 
 
 def run_e1(seed: int = 0, quick: bool = False) -> ResultTable:
@@ -88,7 +91,8 @@ def run_e5(seed: int = 0, quick: bool = False) -> ResultTable:
     """E5: skewed-model hop scaling across the distribution suite."""
     rng = np.random.default_rng(seed)
     n_routes = 300 if quick else 1500
-    sizes = [256, 512, 1024] if quick else [512, 1024, 2048, 4096, 8192]
+    # Full mode sweeps to n >= 1e5 per distribution (bulk construction).
+    sizes = [256, 512, 1024] if quick else [512, 2048, 8192, 32768, 131072]
     suite = default_suite()
     table = ResultTable(
         title="E5 (Theorem 2): greedy hops vs N for skewed key distributions",

@@ -24,6 +24,7 @@ from repro.keyspace.search import (
     nearest_indices,
     predecessor_index,
     successor_index,
+    successor_indices,
 )
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "nearest_index",
     "nearest_indices",
     "successor_index",
+    "successor_indices",
     "predecessor_index",
     "binary_digits",
     "digits",

@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.keyspace.base import KeySpace
 
-__all__ = ["nearest_index", "nearest_indices", "successor_index", "predecessor_index"]
+__all__ = [
+    "nearest_index",
+    "nearest_indices",
+    "successor_index",
+    "successor_indices",
+    "predecessor_index",
+]
 
 
 def nearest_index(sorted_ids: np.ndarray, key: float, space: KeySpace) -> int:
@@ -97,6 +103,23 @@ def successor_index(sorted_ids: np.ndarray, key: float) -> int:
         raise ValueError("cannot search an empty identifier set")
     pos = int(np.searchsorted(sorted_ids, key, side="left"))
     return pos % n
+
+
+def successor_indices(sorted_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`successor_index` over an array of lookup keys.
+
+    Returns, for every key, exactly the index the scalar function would
+    — the bulk builders (Chord fingers, Symphony links) rely on this so
+    whole-population construction agrees with scalar ownership.
+
+    Raises:
+        ValueError: if ``sorted_ids`` is empty.
+    """
+    n = len(sorted_ids)
+    if n == 0:
+        raise ValueError("cannot search an empty identifier set")
+    keys = np.asarray(keys, dtype=float)
+    return (np.searchsorted(sorted_ids, keys, side="left") % n).astype(np.int64)
 
 
 def predecessor_index(sorted_ids: np.ndarray, key: float) -> int:
