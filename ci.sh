@@ -24,6 +24,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
 
   echo "== construction throughput smoke (scalar vs bulk, >=5x gate + 1e6 build) =="
   python -m pytest benchmarks/bench_construction.py -q -s -k bulk
+
+  echo "== churn throughput smoke (scalar vs bulk engine, >=5x gate + 1e5 sustain) =="
+  python -m pytest benchmarks/bench_churn.py -q -s -k bulk
 fi
 
 echo "== ci.sh: all green =="

@@ -72,6 +72,7 @@ from repro.core import (
     expected_hops_bound,
     greedy_route,
     lookahead_route,
+    lookahead_route_many,
     partition_hops_bound,
     partition_index,
     route_many,
@@ -111,6 +112,7 @@ __all__ = [
     "greedy_route",
     "lookahead_route",
     "route_many",
+    "lookahead_route_many",
     "sample_batch",
     "sample_routes",
     "advance_stats",

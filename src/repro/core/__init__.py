@@ -18,7 +18,12 @@ Public surface:
 """
 
 from repro.core.adjacency import CSRAdjacency, build_csr, csr_from_flat_links
-from repro.core.batch_routing import BatchRouteResult, route_many, sample_batch
+from repro.core.batch_routing import (
+    BatchRouteResult,
+    lookahead_route_many,
+    route_many,
+    sample_batch,
+)
 from repro.core.bulk_construction import (
     bulk_exact_links,
     bulk_harmonic_positions,
@@ -79,6 +84,7 @@ __all__ = [
     "greedy_route",
     "lookahead_route",
     "route_many",
+    "lookahead_route_many",
     "sample_batch",
     "sample_routes",
     "partition_index",

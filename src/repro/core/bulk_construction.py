@@ -71,13 +71,16 @@ __all__ = [
 
 
 def _side_log_masses(
-    positions: np.ndarray, cutoff: float, space: KeySpace
+    positions: np.ndarray, cutoff, space: KeySpace
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Return ``(left_span, right_span, log_left, log_right)`` arrays.
 
     ``log_* = ln(span/cutoff)`` clamped to 0 when the span does not reach
     beyond the cutoff — the vectorized form of the scalar samplers'
-    ``math.log(span / cutoff) if span > cutoff else 0.0``.
+    ``math.log(span / cutoff) if span > cutoff else 0.0``.  ``cutoff``
+    may be a scalar or an array broadcastable to ``positions`` (the live
+    overlay's bulk engine draws for peers that joined under different
+    ``1/N`` regimes in one pass).
     """
     left, right = space.spans(positions)
     left = np.broadcast_to(np.asarray(left, dtype=float), positions.shape)
@@ -105,7 +108,9 @@ def bulk_harmonic_positions(
 
     Args:
         positions: normalised positions, one per requested draw.
-        cutoff: minimum normalised distance (the paper's ``1/N``).
+        cutoff: minimum normalised distance (the paper's ``1/N``); a
+            scalar, or an array broadcastable to ``positions`` for
+            per-entry cutoffs.
         space: key-space geometry.
         rng: random source; consumes exactly two uniforms per entry.
 
@@ -117,7 +122,7 @@ def bulk_harmonic_positions(
     Raises:
         ValueError: for non-positive ``cutoff``.
     """
-    if cutoff <= 0:
+    if np.any(np.asarray(cutoff) <= 0):
         raise ValueError(f"cutoff must be > 0, got {cutoff}")
     pos = np.asarray(positions, dtype=float)
     left, right, log_left, log_right = _side_log_masses(pos, cutoff, space)

@@ -181,10 +181,16 @@ def lookahead_route(
 
     Each step evaluates, for every out-neighbour ``x``, the best distance
     achievable by ``x``'s own out-links, and moves to the ``x`` with the
-    best two-step prospect (breaking ties by ``x``'s own distance).  One
+    best two-step prospect (breaking ties by ``x``'s own distance, then
+    by scan order: ring/interval neighbours before long links, exactly
+    the CSR row-order contract of :mod:`repro.core.adjacency`).  One
     step still traverses a single edge, so hop counts are comparable with
     :func:`greedy_route`; the experiments use this as the "extension"
     ablation showing the constant-factor improvement lookahead buys.
+
+    This is the scalar reference for the batch engine's
+    :func:`repro.core.batch_routing.lookahead_route_many`, which must
+    match it hop for hop.
     """
     n = graph.n
     if not 0 <= source < n:
@@ -208,7 +214,7 @@ def lookahead_route(
                 "max_hops", target_key, owner,
             )
         current_dist = dist_of(current)
-        ring_neighbors = set(graph.neighbor_indices(current))
+        ring_neighbors = graph.neighbor_indices(current)
         candidates = list(ring_neighbors) + [int(j) for j in graph.long_links[current]]
         best_idx = -1
         best_score = (current_dist, current_dist)

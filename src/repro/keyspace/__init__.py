@@ -20,6 +20,7 @@ from repro.keyspace.ids import (
 from repro.keyspace.interval import IntervalSpace
 from repro.keyspace.ring import RingSpace
 from repro.keyspace.search import (
+    membership_mask,
     nearest_index,
     nearest_indices,
     predecessor_index,
@@ -36,6 +37,7 @@ __all__ = [
     "successor_index",
     "successor_indices",
     "predecessor_index",
+    "membership_mask",
     "binary_digits",
     "digits",
     "from_digits",

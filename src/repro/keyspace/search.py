@@ -20,6 +20,7 @@ __all__ = [
     "successor_index",
     "successor_indices",
     "predecessor_index",
+    "membership_mask",
 ]
 
 
@@ -120,6 +121,30 @@ def successor_indices(sorted_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
         raise ValueError("cannot search an empty identifier set")
     keys = np.asarray(keys, dtype=float)
     return (np.searchsorted(sorted_ids, keys, side="left") % n).astype(np.int64)
+
+
+def membership_mask(sorted_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Return a boolean mask marking which ``keys`` occur in ``sorted_ids``.
+
+    One ``searchsorted`` pass — the vectorized form of ``key in
+    population`` that the live overlay's dangling-link detection runs
+    over every stored long-link target per repair round.  Identifiers
+    compare by exact float equality, matching the scalar overlay's
+    dict-membership semantics.
+
+    Args:
+        sorted_ids: one-dimensional *sorted* array of identifiers (may be
+            empty, in which case nothing is a member).
+        keys: identifiers to test, any shape.
+    """
+    keys = np.asarray(keys, dtype=float)
+    if len(sorted_ids) == 0:
+        return np.zeros(keys.shape, dtype=bool)
+    pos = np.searchsorted(sorted_ids, keys)
+    in_bounds = pos < len(sorted_ids)
+    hit = np.zeros(keys.shape, dtype=bool)
+    hit[in_bounds] = sorted_ids[pos[in_bounds]] == keys[in_bounds]
+    return hit
 
 
 def predecessor_index(sorted_ids: np.ndarray, key: float) -> int:

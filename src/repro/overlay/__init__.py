@@ -3,9 +3,21 @@
 The dynamic counterpart of the snapshot graphs in :mod:`repro.core`,
 implementing the network-construction and maintenance protocols sketched
 in Section 4.2 of the paper plus the failure-injection tooling used by
-the robustness experiments.
+the robustness experiments.  :class:`Network` stores the live population
+array-backed by default (:mod:`repro.overlay.network`), and whole
+cohorts of joins/leaves/repairs advance in vectorized rounds through
+:mod:`repro.overlay.bulk_dynamics`; the scalar per-peer protocols are
+kept as the reference implementations behind ``Network(engine="scalar")``.
 """
 
+from repro.overlay.bulk_dynamics import (
+    BulkReport,
+    bulk_bootstrap,
+    bulk_join,
+    bulk_leave,
+    bulk_repair,
+    sample_cohort_ids,
+)
 from repro.overlay.churn import (
     ChurnConfig,
     ChurnEpoch,
@@ -20,17 +32,31 @@ from repro.overlay.join import (
     join_known_f,
 )
 from repro.overlay.maintenance import MaintenanceReport, maintenance_round, refresh_peer
-from repro.overlay.network import LookupResult, Network, PeerState
+from repro.overlay.network import (
+    LinkRowView,
+    LookupResult,
+    Network,
+    PeerState,
+    PeerView,
+)
 from repro.overlay.stats import LookupStats, measure_network, summarize_lookups
 
 __all__ = [
     "Network",
     "PeerState",
+    "PeerView",
+    "LinkRowView",
     "LookupResult",
     "JoinReceipt",
     "join_known_f",
     "join_adaptive",
     "bootstrap_network",
+    "BulkReport",
+    "bulk_join",
+    "bulk_leave",
+    "bulk_repair",
+    "bulk_bootstrap",
+    "sample_cohort_ids",
     "MaintenanceReport",
     "refresh_peer",
     "maintenance_round",

@@ -22,6 +22,12 @@ import numpy as np
 
 from repro.core.graph import SmallWorldGraph
 from repro.distributions import Distribution
+from repro.overlay.bulk_dynamics import (
+    bulk_join,
+    bulk_leave,
+    bulk_repair,
+    sample_cohort_ids,
+)
 from repro.overlay.join import join_known_f
 from repro.overlay.maintenance import maintenance_round
 from repro.overlay.network import Network
@@ -133,11 +139,23 @@ def run_churn(
     ``maintenance_fraction`` of peers refresh their links, and
     ``lookups_per_epoch`` random lookups are measured.
 
+    On an array-engine network each epoch runs on the bulk engine —
+    :func:`~repro.overlay.bulk_dynamics.bulk_leave` /
+    :func:`~repro.overlay.bulk_dynamics.bulk_join` /
+    :func:`~repro.overlay.bulk_dynamics.bulk_repair` cohort passes, with
+    the epoch's lookups batch-routed over a :meth:`Network.snapshot`
+    through :func:`repro.core.route_many` (hop-for-hop identical to
+    scalar :meth:`Network.route`).  Link resolution then costs no routed
+    hops, so ``maintenance_hops`` is 0 on this path.  The scalar engine
+    keeps the per-peer reference loop.
+
     Raises:
         ValueError: if the network starts empty.
     """
     if network.n == 0:
         raise ValueError("cannot churn an empty network")
+    if network.engine == "array":
+        return _run_churn_bulk(network, distribution, config, rng)
     history = []
     for epoch in range(config.epochs):
         ids = network.ids_array()
@@ -179,6 +197,56 @@ def run_churn(
                 success_rate=successes / max(1, config.lookups_per_epoch),
                 dangling_links=network.dangling_link_count(),
                 maintenance_hops=maintenance_hops,
+                failed_reasons=reasons,
+            )
+        )
+    return history
+
+
+def _run_churn_bulk(
+    network: Network,
+    distribution: Distribution,
+    config: ChurnConfig,
+    rng: np.random.Generator,
+) -> list[ChurnEpoch]:
+    """Array-engine epoch loop of :func:`run_churn`: cohorts, not peers."""
+    from repro.core.batch_routing import route_many
+
+    history = []
+    for epoch in range(config.epochs):
+        ids = network.ids_array()
+        n_leave = min(int(round(config.leave_fraction * len(ids))), len(ids) - 2)
+        if n_leave > 0:
+            bulk_leave(network, rng.choice(ids, size=n_leave, replace=False))
+        n_join = int(round(config.join_fraction * network.n))
+        if n_join > 0:
+            cohort = sample_cohort_ids(network, distribution, n_join, rng)
+            bulk_join(network, cohort, distribution, rng)
+        if config.maintenance_fraction > 0.0 and network.n > 1:
+            bulk_repair(
+                network, rng, distribution=distribution,
+                fraction=config.maintenance_fraction, refresh=True,
+            )
+        mean_hops = float("nan")
+        success_rate = 0.0
+        reasons: dict[str, int] = {}
+        if config.lookups_per_epoch > 0 and network.n > 0:
+            live = network.ids_array()
+            sources = rng.integers(len(live), size=config.lookups_per_epoch)
+            keys = live[rng.integers(len(live), size=config.lookups_per_epoch)]
+            batch = route_many(network.snapshot(), sources, keys)
+            mean_hops = batch.mean_hops
+            success_rate = batch.success_rate
+            for label in batch.reasons[~batch.success].tolist():
+                reasons[label] = reasons.get(label, 0) + 1
+        history.append(
+            ChurnEpoch(
+                epoch=epoch,
+                n_peers=network.n,
+                mean_hops=mean_hops,
+                success_rate=success_rate,
+                dangling_links=network.dangling_link_count(),
+                maintenance_hops=0,
                 failed_reasons=reasons,
             )
         )

@@ -196,8 +196,14 @@ def bootstrap_network(
     protocol: str = "known",
     sample_size: int = 64,
     estimator_factory=None,
+    engine: str = "array",
 ) -> tuple[Network, list[JoinReceipt]]:
     """Grow a network from empty to ``n`` peers via successive joins.
+
+    Joins are per-peer regardless of engine — this is the scalar
+    reference construction; see
+    :func:`repro.overlay.bulk_dynamics.bulk_bootstrap` for the
+    cohort-at-a-time engine.
 
     Args:
         distribution: the true key/peer distribution.
@@ -208,6 +214,7 @@ def bootstrap_network(
             (peers estimate ``f``; the very first peer joins trivially).
         sample_size: adaptive-protocol gossip budget per joiner.
         estimator_factory: adaptive-protocol estimator override.
+        engine: storage engine for the built :class:`Network`.
 
     Returns:
         The built network and the per-join receipts.
@@ -219,7 +226,7 @@ def bootstrap_network(
         raise ValueError(f"n must be >= 1, got {n}")
     if protocol not in ("known", "adaptive"):
         raise ValueError(f"unknown protocol {protocol!r}")
-    network = Network(space=space)
+    network = Network(space=space, engine=engine)
     receipts = []
     for i in range(n):
         if protocol == "known" or i == 0:

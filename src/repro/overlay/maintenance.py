@@ -129,6 +129,14 @@ def maintenance_round(
 ) -> MaintenanceReport:
     """Refresh a random fraction of peers (one simulated gossip epoch).
 
+    On an array-engine network the round runs vectorized through
+    :func:`repro.overlay.bulk_dynamics.bulk_repair` (``refresh=True``):
+    whole-cohort redraw rounds instead of per-peer loops, link targets
+    resolved by ownership search instead of routed lookups (so
+    ``lookup_hops`` is 0), and — when estimating — one shared estimate
+    per round rather than one per peer.  The scalar engine keeps the
+    per-peer reference loop below.
+
     Args:
         network: the live overlay.
         rng: random source.
@@ -142,6 +150,26 @@ def maintenance_round(
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if network.engine == "array":
+        from repro.overlay.bulk_dynamics import bulk_repair
+
+        bulk = bulk_repair(
+            network,
+            rng,
+            distribution=distribution,
+            fraction=fraction,
+            refresh=True,
+            out_degree=out_degree,
+            cutoff=cutoff,
+            sample_size=sample_size,
+            estimator_factory=estimator_factory,
+        )
+        return MaintenanceReport(
+            peers_refreshed=bulk.peers,
+            links_installed=bulk.links_installed,
+            dangling_repaired=bulk.dangling_dropped,
+            lookup_hops=0,
+        )
     ids = network.ids_array()
     n_refresh = max(1, int(round(fraction * len(ids)))) if len(ids) else 0
     chosen = rng.choice(len(ids), size=n_refresh, replace=False) if n_refresh else []

@@ -78,6 +78,12 @@ def measure_network(
 ) -> LookupStats:
     """Run random lookups over a live network and summarise them.
 
+    On an array-engine network the lookups are batch-routed over a
+    :meth:`Network.snapshot` through :func:`repro.core.route_many`
+    (hop-for-hop identical to scalar :meth:`Network.route`, which the
+    scalar engine still uses below), so measurement scales with the
+    batch router rather than the Python-loop walk.
+
     Args:
         network: the overlay to measure.
         n_lookups: how many lookups to route.
@@ -92,6 +98,16 @@ def measure_network(
         raise ValueError(f"unknown targets mode {targets!r}")
     if network.n == 0:
         raise ValueError("cannot measure an empty network")
+    if network.engine == "array":
+        from repro.core.batch_routing import route_many
+
+        ids = network.ids_array()
+        sources = rng.integers(len(ids), size=n_lookups)
+        if targets == "peers":
+            keys = ids[rng.integers(len(ids), size=n_lookups)]
+        else:
+            keys = rng.random(n_lookups)
+        return summarize_lookups(route_many(network.snapshot(), sources, keys))
     results: list[LookupResult] = []
     for _ in range(n_lookups):
         source = network.random_peer(rng)

@@ -1,0 +1,142 @@
+"""Dedicated suite for lookahead (neighbour-of-neighbour) routing.
+
+Pins the batch frontier engine
+(:func:`repro.core.lookahead_route_many`) hop-for-hop against the
+scalar reference (:func:`repro.core.lookahead_route`) on static graphs
+— both spaces, both metrics, exhausted budgets — and on a live
+:class:`Network` snapshot after churn, so the live overlay and the
+static builders demonstrably route through the same engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GraphConfig,
+    build_uniform_model,
+    greedy_route,
+    lookahead_route,
+    lookahead_route_many,
+)
+from repro.distributions import PowerLaw, Uniform
+from repro.keyspace import RingSpace
+from repro.overlay import ChurnConfig, Network, bulk_bootstrap, run_churn
+
+
+def assert_hop_for_hop(graph, sources, keys, metric="key", max_hops=None):
+    batch = lookahead_route_many(
+        graph, sources, keys, metric=metric, max_hops=max_hops, record_paths=True
+    )
+    for i, (source, key) in enumerate(zip(sources, keys)):
+        ref = lookahead_route(
+            graph, int(source), float(key), metric=metric, max_hops=max_hops
+        )
+        assert ref.success == bool(batch.success[i])
+        assert ref.hops == int(batch.hops[i])
+        assert ref.neighbor_hops == int(batch.neighbor_hops[i])
+        assert ref.long_hops == int(batch.long_hops[i])
+        assert ref.owner == int(batch.owners[i])
+        assert ref.reason == str(batch.reasons[i])
+        assert ref.path == batch.paths[i]
+    return batch
+
+
+class TestStaticGraphEquivalence:
+    def test_uniform_key_metric(self, uniform_graph, rng):
+        sources = rng.integers(uniform_graph.n, size=150)
+        keys = rng.random(150)
+        batch = assert_hop_for_hop(uniform_graph, sources, keys)
+        assert batch.success.all()
+
+    def test_skewed_normalized_metric(self, skewed_graph, rng):
+        sources = rng.integers(skewed_graph.n, size=150)
+        keys = rng.random(150)
+        batch = assert_hop_for_hop(skewed_graph, sources, keys, metric="normalized")
+        assert batch.success.all()
+
+    def test_ring_space(self, rng):
+        graph = build_uniform_model(
+            n=512, rng=rng, config=GraphConfig(space=RingSpace())
+        )
+        sources = rng.integers(graph.n, size=100)
+        keys = rng.random(100)
+        assert_hop_for_hop(graph, sources, keys)
+
+    def test_exhausted_budget(self, uniform_graph, rng):
+        sources = rng.integers(uniform_graph.n, size=80)
+        keys = rng.random(80)
+        batch = assert_hop_for_hop(uniform_graph, sources, keys, max_hops=2)
+        assert (batch.reasons[~batch.success] == "max_hops").all()
+
+    def test_peer_targets_arrive(self, uniform_graph, rng):
+        sources = rng.integers(uniform_graph.n, size=100)
+        keys = uniform_graph.ids[rng.integers(uniform_graph.n, size=100)]
+        batch = assert_hop_for_hop(uniform_graph, sources, keys)
+        assert batch.success.all()
+
+    def test_not_worse_than_greedy_on_average(self, uniform_graph, rng):
+        sources = rng.integers(uniform_graph.n, size=200)
+        keys = rng.random(200)
+        look = lookahead_route_many(uniform_graph, sources, keys)
+        greedy_total = sum(
+            greedy_route(uniform_graph, int(s), float(k)).hops
+            for s, k in zip(sources, keys)
+        )
+        assert int(look.hops.sum()) <= greedy_total * 1.05
+
+
+class TestLiveSnapshotEquivalence:
+    """Lookahead on a post-churn live overlay, through the same engine."""
+
+    def _churned_network(self, seed=31):
+        rng = np.random.default_rng(seed)
+        net = bulk_bootstrap(PowerLaw(alpha=1.5, shift=1e-2), 384, rng)
+        run_churn(
+            net,
+            PowerLaw(alpha=1.5, shift=1e-2),
+            ChurnConfig(epochs=3, leave_fraction=0.15, join_fraction=0.15,
+                        maintenance_fraction=0.3, lookups_per_epoch=10),
+            rng,
+        )
+        return net, rng
+
+    def test_post_churn_snapshot_hop_for_hop(self):
+        net, rng = self._churned_network()
+        assert isinstance(net, Network)
+        snap = net.snapshot()
+        sources = rng.integers(snap.n, size=120)
+        keys = rng.random(120)
+        batch = assert_hop_for_hop(snap, sources, keys)
+        assert batch.success.all()
+
+    def test_lookahead_helps_on_live_snapshot(self):
+        net, rng = self._churned_network(seed=32)
+        snap = net.snapshot()
+        sources = rng.integers(snap.n, size=150)
+        keys = snap.ids[rng.integers(snap.n, size=150)]
+        look = lookahead_route_many(snap, sources, keys)
+        greedy_total = sum(
+            greedy_route(snap, int(s), float(k)).hops for s, k in zip(sources, keys)
+        )
+        assert look.success.all()
+        assert int(look.hops.sum()) <= greedy_total * 1.05
+
+
+class TestValidation:
+    def test_mismatched_inputs(self, uniform_graph):
+        with pytest.raises(ValueError):
+            lookahead_route_many(uniform_graph, np.array([0, 1]), np.array([0.5]))
+
+    def test_out_of_range_source(self, uniform_graph):
+        with pytest.raises(ValueError):
+            lookahead_route_many(uniform_graph, np.array([10**6]), np.array([0.5]))
+
+    def test_unknown_metric(self, uniform_graph):
+        with pytest.raises(ValueError):
+            lookahead_route_many(
+                uniform_graph, np.array([0]), np.array([0.5]), metric="psychic"
+            )
+
+    def test_scalar_reference_invalid_source(self, uniform_graph):
+        with pytest.raises(ValueError):
+            lookahead_route(uniform_graph, 10**6, 0.5)

@@ -1,4 +1,9 @@
-"""Unit tests for the live Network overlay."""
+"""Unit tests for the live Network overlay.
+
+The ``small_net`` fixture runs every behavioural test on both storage
+engines — the array slab (default) and the scalar dict-of-PeerState
+reference — so the two cannot drift.
+"""
 
 import numpy as np
 import pytest
@@ -7,9 +12,9 @@ from repro.keyspace import RingSpace
 from repro.overlay import Network
 
 
-@pytest.fixture
-def small_net():
-    net = Network()
+@pytest.fixture(params=["array", "scalar"])
+def small_net(request):
+    net = Network(engine=request.param)
     for peer_id in (0.1, 0.3, 0.5, 0.7, 0.9):
         net.add_peer(peer_id)
     return net
