@@ -27,6 +27,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
 
   echo "== churn throughput smoke (scalar vs bulk engine, >=5x gate + 1e5 sustain) =="
   python -m pytest benchmarks/bench_churn.py -q -s -k bulk
+
+  echo "== baseline comparator smoke (scalar vs batch frontier, >=5x aggregate gate) =="
+  python -m pytest benchmarks/bench_baselines.py -q -s -k speedup
 fi
 
 echo "== ci.sh: all green =="

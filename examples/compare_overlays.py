@@ -3,7 +3,9 @@
 
 Builds every overlay in the repository over the *same* skewed identifier
 set and prints a side-by-side table of hop counts, routing-state sizes
-and success rates — the paper's Section 1 survey, measured.
+and success rates — the paper's Section 1 survey, measured.  Every
+comparator routes its whole workload over the shared batch frontier
+kernel (measure_overlay_batch).
 
 Run:  python examples/compare_overlays.py [skew]
       skew in [0, 1], default 0.8
@@ -21,7 +23,7 @@ from repro.baselines import (
     PastryOverlay,
     PGridOverlay,
     SymphonyOverlay,
-    measure_overlay,
+    measure_overlay_batch,
 )
 from repro.core import sample_routes
 from repro.overlay import summarize_lookups
@@ -61,7 +63,7 @@ def main() -> None:
         ("mercury (sampled)", MercuryOverlay(ids, rng, sample_size=64)),
         ("can 2-d", CANOverlay(ids, dims=2)),
     ]:
-        stats = measure_overlay(
+        stats = measure_overlay_batch(
             overlay, N_LOOKUPS, rng,
             target_ids=getattr(overlay, "ids", None),
         )

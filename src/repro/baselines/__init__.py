@@ -7,9 +7,22 @@ extra state), Symphony (the constant-degree trade-off), Mercury (the
 sampling heuristic Theorem 2 formalises), CAN (no hop guarantee under
 arbitrary partitioning) and Watts–Strogatz (the non-navigable
 small-world baseline).
+
+All seven expose the CSR + metric frontier contract
+(:meth:`BaselineOverlay.to_csr` / :attr:`BaselineOverlay.metric`), so
+whole comparator workloads batch-route through the shared kernel via
+:func:`route_many_overlay` / :func:`measure_overlay_batch`; the scalar
+``route`` methods remain the hop-for-hop-tested reference engines.
 """
 
-from repro.baselines.base import BaselineOverlay, greedy_value_route, measure_overlay
+from repro.baselines.base import (
+    BaselineOverlay,
+    greedy_value_route,
+    measure_overlay,
+    measure_overlay_batch,
+    route_many_overlay,
+    sample_overlay_lookups,
+)
 from repro.baselines.can import CANOverlay, Zone
 from repro.baselines.chord import ChordOverlay
 from repro.baselines.mercury import MercuryOverlay
@@ -21,6 +34,9 @@ from repro.baselines.watts_strogatz import WattsStrogatzOverlay
 __all__ = [
     "BaselineOverlay",
     "measure_overlay",
+    "measure_overlay_batch",
+    "route_many_overlay",
+    "sample_overlay_lookups",
     "greedy_value_route",
     "ChordOverlay",
     "PastryOverlay",

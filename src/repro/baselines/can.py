@@ -24,9 +24,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines.base import BaselineOverlay
+from repro.baselines.base import BaselineOverlay, assemble_rows
+from repro.core.adjacency import CSRAdjacency
+from repro.core.metric_routing import TorusZoneMetric
 from repro.core.routing import RouteResult
-from repro.keyspace import morton_spread
+from repro.keyspace import digit_rows, morton_spread
 
 __all__ = ["Zone", "CANOverlay"]
 
@@ -183,6 +185,95 @@ class CANOverlay(BaselineOverlay):
             adjacent[i] = False
             neighbors.append(np.flatnonzero(adjacent).astype(np.int64))
         self.neighbors = neighbors
+
+    def _points_of(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_point_of`: keys → ``(w, d)`` torus points.
+
+        Reproduces :func:`repro.keyspace.morton_spread` bit-for-bit (the
+        coordinates are sums of disjoint dyadic terms, exact in float).
+        """
+        keys = np.asarray(keys, dtype=float)
+        if self.dims == 1:
+            return keys[:, None]
+        bits = digit_rows(keys, 2, self.dims * 16)  # validates [0, 1) range
+        points = np.empty((len(keys), self.dims))
+        weights = 2.0 ** -(np.arange(1, 17, dtype=float))
+        for d in range(self.dims):
+            points[:, d] = bits[:, d :: self.dims] @ weights
+        return points
+
+    def _bsp_arrays(self):
+        """Flatten the zone BSP tree into arrays for vectorised descent."""
+        cache = getattr(self, "_bsp_cache", None)
+        if cache is not None:
+            return cache
+        split_dim: list[int] = []
+        split_at: list[float] = []
+        low: list[int] = []
+        high: list[int] = []
+        zone: list[int] = []
+        stack = [self._root]
+        nodes: list[_BSPNode] = []
+        while stack:
+            node = stack.pop()
+            node._flat_id = len(nodes)
+            nodes.append(node)
+            if node.zone_index < 0:
+                stack.append(node.high)
+                stack.append(node.low)
+        for node in nodes:
+            split_dim.append(node.split_dim)
+            split_at.append(node.split_at)
+            zone.append(node.zone_index)
+            low.append(node.low._flat_id if node.low is not None else -1)
+            high.append(node.high._flat_id if node.high is not None else -1)
+        cache = (
+            np.asarray(split_dim, dtype=np.int64),
+            np.asarray(split_at, dtype=float),
+            np.asarray(low, dtype=np.int64),
+            np.asarray(high, dtype=np.int64),
+            np.asarray(zone, dtype=np.int64),
+        )
+        self._bsp_cache = cache
+        return cache
+
+    def _zones_of_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`zone_of_point` over a ``(w, d)`` point block."""
+        split_dim, split_at, low, high, zone = self._bsp_arrays()
+        node = np.zeros(len(points), dtype=np.int64)
+        while True:
+            pending = np.flatnonzero(zone[node] < 0)
+            if pending.size == 0:
+                return zone[node]
+            at = node[pending]
+            go_high = points[pending, split_dim[at]] >= split_at[at]
+            node[pending] = np.where(go_high, high[at], low[at])
+
+    def _build_frontier(self):
+        """CSR of face neighbours + the torus-L1 zone-distance metric.
+
+        Rows keep the stored (ascending) neighbour order of the scalar
+        scan; all hops count as neighbour hops, matching the scalar
+        router's accounting.
+        """
+        n = self.n
+        counts = np.fromiter(
+            (len(nb) for nb in self.neighbors), dtype=np.int64, count=n
+        )
+        flat = (
+            np.concatenate(self.neighbors) if counts.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        indptr, indices, _ = assemble_rows(n, [(counts, flat)])
+        csr = CSRAdjacency(
+            indptr=indptr,
+            indices=indices,
+            is_long=np.zeros(len(indices), dtype=bool),
+        )
+        lo = np.asarray([zone.lo for zone in self.zones])
+        hi = np.asarray([zone.hi for zone in self.zones])
+        metric = TorusZoneMetric(lo, hi, self._points_of, self._zones_of_points)
+        return csr, metric
 
     # ------------------------------------------------------------------
     # queries

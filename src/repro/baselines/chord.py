@@ -23,7 +23,9 @@ import math
 
 import numpy as np
 
-from repro.baselines.base import BaselineOverlay
+from repro.baselines.base import BaselineOverlay, hash_keys
+from repro.core.adjacency import CSRAdjacency
+from repro.core.metric_routing import ClockwiseMetric
 from repro.core.routing import RouteResult
 from repro.keyspace import mix_hash, successor_index, successor_indices
 
@@ -66,6 +68,35 @@ class ChordOverlay(BaselineOverlay):
         offsets = 2.0 ** (-np.arange(1, self.m + 1))  # 1/2, 1/4, ..., 2^-m
         points = (self.ids[:, None] + offsets[None, :]) % 1.0
         self.fingers = successor_indices(self.ids, points.ravel()).reshape(n, self.m)
+
+    def _build_frontier(self):
+        """CSR + clockwise metric reproducing the scalar finger rule.
+
+        Each row holds the ring successor first, then the fingers in
+        table order — minimising the remaining clockwise distance over
+        that row is exactly "closest preceding finger" (overshooting
+        candidates can never improve), and the metric's terminal owner
+        hop covers the one stuck state (key between a peer and its
+        owning successor).  All hops count as long, matching the scalar
+        router's accounting.
+        """
+        n, m = self.n, self.m
+        row = np.empty((n, m + 1), dtype=np.int64)
+        row[:, 0] = (np.arange(n, dtype=np.int64) + 1) % n
+        row[:, 1:] = self.fingers
+        indptr = np.arange(n + 1, dtype=np.int64) * (m + 1)
+        csr = CSRAdjacency(
+            indptr=indptr,
+            indices=row.reshape(-1),
+            is_long=np.ones(n * (m + 1), dtype=bool),
+        )
+        metric = ClockwiseMetric(
+            self.ids,
+            owner_rule="successor",
+            transform=hash_keys if self.hashed else None,
+            terminal_owner_hop=True,
+        )
+        return csr, metric
 
     @property
     def n(self) -> int:

@@ -12,6 +12,15 @@ identifiers.
 On *skewed* raw identifiers the digit trie becomes deep and lopsided:
 tables grow rows and hop counts stretch — the degradation experiment E6
 measures against the paper's skew-adapted model.
+
+The default ``builder="bulk"`` fills the whole routing table in
+``depth`` vectorized passes: peers sharing a digit prefix are contiguous
+in sorted-id order, so every ``(peer, row, digit)`` slot's candidate set
+is a ``searchsorted`` range over integer prefix codes and one
+``rng.integers`` draw fills all ``n·2^b`` slots of a row at once — the
+same whole-population construction style as
+:mod:`repro.core.bulk_construction`, distribution-identical to the
+per-slot reference loop kept behind ``builder="scalar"``.
 """
 
 from __future__ import annotations
@@ -20,9 +29,11 @@ import math
 
 import numpy as np
 
-from repro.baselines.base import BaselineOverlay
+from repro.baselines.base import BaselineOverlay, assemble_rows, hash_keys
+from repro.core.adjacency import CSRAdjacency
+from repro.core.metric_routing import PrefixDigitMetric
 from repro.core.routing import RouteResult
-from repro.keyspace import RingSpace, digits, mix_hash, nearest_index
+from repro.keyspace import RingSpace, digit_rows, digits, mix_hash, nearest_index
 
 __all__ = ["PastryOverlay"]
 
@@ -39,10 +50,13 @@ class PastryOverlay(BaselineOverlay):
         bits_per_digit: ``b``; digits are base ``2^b`` (default 4 → 16).
         leaf_size: total leaf-set size (half on each side).
         hashed: operate in hashed id space (classic deployment).
+        builder: ``"bulk"`` (vectorized row passes, the default) or
+            ``"scalar"`` (the per-slot reference loop).
 
     Raises:
-        ValueError: for fewer than 2 peers or identifiers too densely
-            packed to distinguish within float precision.
+        ValueError: for fewer than 2 peers, identifiers too densely
+            packed to distinguish within float precision, or an unknown
+            builder.
     """
 
     name = "pastry"
@@ -54,6 +68,7 @@ class PastryOverlay(BaselineOverlay):
         bits_per_digit: int = 4,
         leaf_size: int = 8,
         hashed: bool = False,
+        builder: str = "bulk",
     ):
         ids = np.asarray(ids, dtype=float)
         if len(ids) < 2:
@@ -62,6 +77,8 @@ class PastryOverlay(BaselineOverlay):
             raise ValueError(f"bits_per_digit must be >= 1, got {bits_per_digit}")
         if leaf_size < 2:
             raise ValueError(f"leaf_size must be >= 2, got {leaf_size}")
+        if builder not in ("bulk", "scalar"):
+            raise ValueError(f"unknown builder {builder!r}")
         self.hashed = hashed
         if hashed:
             ids = np.asarray([mix_hash(x) for x in ids])
@@ -71,8 +88,16 @@ class PastryOverlay(BaselineOverlay):
         self.leaf_size = leaf_size
         self.space = RingSpace()
         self.depth = self._required_depth()
-        self._digits = [digits(float(x), self.base, self.depth) for x in self.ids]
-        self._build_tables(rng)
+        # Whole-population digit expansion (bit-identical to the scalar
+        # repro.keyspace.digits recurrence); tuples kept for the scalar
+        # reference router and prefix analyses.
+        self._digit_matrix = digit_rows(self.ids, self.base, self.depth)
+        self._digits = [tuple(row) for row in self._digit_matrix.tolist()]
+        self._build_leaf_sets()
+        if builder == "bulk":
+            self._build_tables_bulk(rng)
+        else:
+            self._build_tables_scalar(rng)
 
     def _required_depth(self) -> int:
         """Digits needed so all peers have distinct digit strings."""
@@ -89,7 +114,51 @@ class PastryOverlay(BaselineOverlay):
             )
         return max(depth, 1)
 
-    def _build_tables(self, rng: np.random.Generator) -> None:
+    def _build_leaf_sets(self) -> None:
+        """Leaf sets: numerically closest peers on each side (ring order)."""
+        n = self.n
+        half = self.leaf_size // 2
+        offs = np.asarray(
+            [off for off in range(-half, half + 1) if off != 0], dtype=np.int64
+        )
+        around = np.sort((np.arange(n, dtype=np.int64)[:, None] + offs[None, :]) % n, axis=1)
+        keep = np.ones(around.shape, dtype=bool)
+        keep[:, 1:] = around[:, 1:] != around[:, :-1]
+        counts = keep.sum(axis=1)
+        self.leaf_sets = np.split(around[keep], np.cumsum(counts)[:-1])
+
+    def _build_tables_bulk(self, rng: np.random.Generator) -> None:
+        """Fill every routing-table row in one vectorized pass per level.
+
+        Peers sharing the prefix ``own[:l] + (d,)`` occupy a contiguous
+        range of the sorted-id order, located by ``searchsorted`` over
+        the integer codes of the first ``l + 1`` digits; one broadcast
+        ``rng.integers`` draw then picks a uniform candidate for all
+        ``n · base`` slots of the row (the scalar loop's per-slot
+        ``rng.integers(len(candidates))``, whole-population at once).
+        """
+        n, depth, base = self.n, self.depth, self.base
+        digit_mat = self._digit_matrix
+        self.table = np.full((n, depth, base), -1, dtype=np.int32)
+        self._row_filled = np.zeros(n, dtype=np.int64)
+        codes = np.zeros(n, dtype=np.int64)
+        all_digits = np.arange(base, dtype=np.int64)
+        rows = np.arange(n, dtype=np.int64)
+        for level in range(depth):
+            child = codes * base + digit_mat[:, level]  # sorted: id order is code order
+            wanted = codes[:, None] * base + all_digits[None, :]
+            lo = np.searchsorted(child, wanted.ravel(), side="left").reshape(n, base)
+            hi = np.searchsorted(child, wanted.ravel(), side="right").reshape(n, base)
+            sizes = hi - lo
+            picks = lo + rng.integers(0, np.maximum(sizes, 1))
+            entries = np.where(sizes > 0, picks, -1)
+            entries[rows, digit_mat[:, level]] = -1  # own digit: no slot
+            self.table[:, level, :] = entries
+            self._row_filled += (entries >= 0).any(axis=1)
+            codes = child
+
+    def _build_tables_scalar(self, rng: np.random.Generator) -> None:
+        """Per-slot reference loop: group peers by prefix, fill each slot."""
         n = self.n
         # Group peers by digit prefix for O(1) slot filling.
         by_prefix: dict[tuple[int, ...], list[int]] = {}
@@ -97,7 +166,7 @@ class PastryOverlay(BaselineOverlay):
             for l in range(self.depth + 1):
                 by_prefix.setdefault(digs[:l], []).append(i)
         # Routing table: table[u][l][d] = peer index or -1.
-        self.table = np.full((n, self.depth, self.base), -1, dtype=np.int64)
+        self.table = np.full((n, self.depth, self.base), -1, dtype=np.int32)
         self._row_filled = np.zeros(n, dtype=np.int64)
         for u in range(n):
             own = self._digits[u]
@@ -114,13 +183,45 @@ class PastryOverlay(BaselineOverlay):
                     row_used = True
                 if row_used:
                     self._row_filled[u] += 1
-        # Leaf sets: numerically closest peers on each side (ring order).
-        half = self.leaf_size // 2
-        leafs = []
-        for u in range(n):
-            around = [(u + off) % n for off in range(-half, half + 1) if off != 0]
-            leafs.append(np.unique(np.asarray(around, dtype=np.int64)))
-        self.leaf_sets = leafs
+
+    def _build_frontier(self):
+        """CSR (leaf set first, then table entries) + prefix-digit metric.
+
+        The row order mirrors the scalar fallback's known-peer scan
+        (leafs, then the table in ravel order); each table edge carries
+        its ``(row, digit)`` tag so the metric can recognise the primary
+        prefix-extension edge per lookup.  All hops count as long,
+        matching the scalar router's accounting.
+        """
+        n = self.n
+        leaf_counts = np.fromiter(
+            (len(ls) for ls in self.leaf_sets), dtype=np.int64, count=n
+        )
+        leaf_flat = np.concatenate(self.leaf_sets)
+        flat_table = self.table.reshape(n, -1)
+        mask = flat_table >= 0
+        table_counts = mask.sum(axis=1)
+        _, slot_idx = np.nonzero(mask)  # row-major: ravel (level, digit) order
+        table_flat = flat_table[mask].astype(np.int64)
+        indptr, indices, (_, table_slots) = assemble_rows(
+            n, [(leaf_counts, leaf_flat), (table_counts, table_flat)]
+        )
+        tag_level = np.full(len(indices), -1, dtype=np.int32)
+        tag_digit = np.full(len(indices), -1, dtype=np.int32)
+        tag_level[table_slots] = slot_idx // self.base
+        tag_digit[table_slots] = slot_idx % self.base
+        csr = CSRAdjacency(
+            indptr=indptr, indices=indices, is_long=np.ones(len(indices), dtype=bool)
+        )
+        metric = PrefixDigitMetric(
+            self.ids,
+            self._digit_matrix,
+            tag_level,
+            tag_digit,
+            self.base,
+            transform=hash_keys if self.hashed else None,
+        )
+        return csr, metric
 
     @property
     def n(self) -> int:

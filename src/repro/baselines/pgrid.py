@@ -12,13 +12,23 @@ that this preserves *routing efficiency* (expected hops stay ``O(log N)``
 thanks to the randomised references [2]) but costs *more than
 logarithmic routing state* (path lengths grow beyond ``log2 N`` under
 skew).  Experiment E6 measures both effects.
+
+The default ``builder="bulk"`` draws all references in one vectorized
+pass per trie level: members of a complementary subtree occupy a
+contiguous range of the sorted-id order (the subtree *is* a dyadic cell
+of the key space, and trie paths are prefix-free), so every reference is
+a ``searchsorted`` range plus one broadcast ``rng.integers`` draw —
+distribution-identical to the per-peer reference loop kept behind
+``builder="scalar"`` (which also serves ``refs_per_level > 1``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import BaselineOverlay
+from repro.baselines.base import BaselineOverlay, assemble_rows
+from repro.core.adjacency import CSRAdjacency
+from repro.core.metric_routing import TrieMetric
 from repro.core.routing import RouteResult
 from repro.keyspace import binary_digits
 
@@ -35,15 +45,26 @@ class PGridOverlay(BaselineOverlay):
         rng: random source for reference selection.
         refs_per_level: references kept per trie level (default 1; more
             buys robustness at linear state cost).
+        builder: ``"bulk"`` (vectorized level passes, the default) or
+            ``"scalar"`` (the per-peer reference loop).
+            ``refs_per_level > 1`` always takes the scalar path — the
+            without-replacement draw is not vectorized.
 
     Raises:
-        ValueError: for fewer than 2 peers, duplicate identifiers, or a
-            population needing a trie deeper than float precision allows.
+        ValueError: for fewer than 2 peers, duplicate identifiers, a
+            population needing a trie deeper than float precision
+            allows, or an unknown builder.
     """
 
     name = "pgrid"
 
-    def __init__(self, ids, rng: np.random.Generator, refs_per_level: int = 1):
+    def __init__(
+        self,
+        ids,
+        rng: np.random.Generator,
+        refs_per_level: int = 1,
+        builder: str = "bulk",
+    ):
         ids = np.sort(np.asarray(ids, dtype=float))
         if len(ids) < 2:
             raise ValueError("P-Grid needs at least 2 peers")
@@ -51,13 +72,26 @@ class PGridOverlay(BaselineOverlay):
             raise ValueError("P-Grid requires distinct identifiers")
         if refs_per_level < 1:
             raise ValueError(f"refs_per_level must be >= 1, got {refs_per_level}")
+        if builder not in ("bulk", "scalar"):
+            raise ValueError(f"unknown builder {builder!r}")
         self.ids = ids
         self.refs_per_level = refs_per_level
         self.paths: list[tuple[int, ...]] = [()] * len(ids)
         self.cells: list[tuple[float, float]] = [(0.0, 1.0)] * len(ids)
         self._by_prefix: dict[tuple[int, ...], list[int]] = {}
         self._split(np.arange(len(ids)), (), 0.0, 1.0, 0.0, 1.0)
-        self._build_refs(rng)
+        self._path_lengths = np.asarray([len(p) for p in self.paths], dtype=np.int64)
+        self._bit_matrix = np.full(
+            (len(ids), int(self._path_lengths.max())), -1, dtype=np.int8
+        )
+        for i, path in enumerate(self.paths):
+            self._bit_matrix[i, : len(path)] = path
+        self._refs: list[list[np.ndarray]] | None = None
+        self._ref_matrix: np.ndarray | None = None
+        if builder == "bulk" and refs_per_level == 1:
+            self._build_refs_bulk(rng)
+        else:
+            self._build_refs_scalar(rng)
         # Leaf cells partition [0, 1); sorted left edges locate owners fast.
         order = np.argsort([c[0] for c in self.cells])
         self._cell_order = order
@@ -108,8 +142,40 @@ class PGridOverlay(BaselineOverlay):
             self._split(left, prefix + (0,), cover_lo, mid, cell_lo, mid)
             self._split(right, prefix + (1,), mid, cover_hi, mid, cell_hi)
 
-    def _build_refs(self, rng: np.random.Generator) -> None:
-        self.refs: list[list[np.ndarray]] = []
+    def _build_refs_bulk(self, rng: np.random.Generator) -> None:
+        """Draw one reference per (peer, level) in vectorized level passes.
+
+        A level-``l + 1`` complementary subtree is the dyadic key-space
+        cell of the complement prefix, and — trie paths being prefix-free
+        — its members are exactly the peers whose identifiers fall in
+        that cell: a contiguous ``searchsorted`` range of the sorted ids.
+        One broadcast ``rng.integers`` draw picks uniformly within every
+        range, matching the scalar loop's per-level ``rng.choice``.
+        """
+        n = self.n
+        max_depth = self._bit_matrix.shape[1]
+        refs = np.full((n, max_depth), -1, dtype=np.int64)
+        codes = np.zeros(n, dtype=np.int64)
+        for level in range(max_depth):
+            active = self._path_lengths > level
+            if not active.any():
+                break
+            bits = self._bit_matrix[:, level].astype(np.int64)
+            complement = codes * 2 + np.where(bits == 0, 1, 0)
+            scale = 2.0 ** (level + 1)
+            cell_lo = complement[active] / scale
+            cell_hi = (complement[active] + 1) / scale
+            lo = np.searchsorted(self.ids, cell_lo, side="left")
+            hi = np.searchsorted(self.ids, cell_hi, side="left")
+            sizes = hi - lo
+            picks = lo + rng.integers(0, np.maximum(sizes, 1))
+            refs[active, level] = np.where(sizes > 0, picks, -1)
+            codes = codes * 2 + np.where(active, bits, 0)
+        self._ref_matrix = refs
+
+    def _build_refs_scalar(self, rng: np.random.Generator) -> None:
+        """Per-peer reference loop (also the ``refs_per_level > 1`` path)."""
+        refs: list[list[np.ndarray]] = []
         for i in range(self.n):
             path = self.paths[i]
             levels = []
@@ -124,7 +190,89 @@ class PGridOverlay(BaselineOverlay):
                     )
                 else:
                     levels.append(np.empty(0, dtype=np.int64))
-            self.refs.append(levels)
+            refs.append(levels)
+        self._refs = refs
+
+    @property
+    def refs(self) -> list[list[np.ndarray]]:
+        """Per-peer, per-level reference lists (the scalar router's view).
+
+        Materialised lazily from the bulk builder's flat matrix; the
+        scalar builder fills it directly.
+        """
+        if self._refs is None:
+            self._refs = [
+                [
+                    (
+                        np.asarray([self._ref_matrix[i, l]], dtype=np.int64)
+                        if self._ref_matrix[i, l] >= 0
+                        else np.empty(0, dtype=np.int64)
+                    )
+                    for l in range(int(self._path_lengths[i]))
+                ]
+                for i in range(self.n)
+            ]
+        return self._refs
+
+    def _build_frontier(self):
+        """CSR (references first, then index neighbours) + trie metric.
+
+        Reference edges carry their ``(level, rank)`` tag; the two
+        value-order neighbour edges (``i - 1``, ``i + 1``; absent at the
+        interval ends) are tagged level ``-1`` for the metric's fallback
+        rule.  All hops count as long, matching the scalar router.
+        """
+        n = self.n
+        if self._ref_matrix is not None:
+            mask = self._ref_matrix >= 0
+            ref_counts = mask.sum(axis=1).astype(np.int64)
+            _, level_idx = np.nonzero(mask)
+            ref_flat = self._ref_matrix[mask]
+            ref_levels = level_idx.astype(np.int32)
+            ref_ranks = np.zeros(len(ref_flat), dtype=np.int32)
+        else:
+            ref_counts = np.asarray(
+                [sum(len(level) for level in levels) for levels in self.refs],
+                dtype=np.int64,
+            )
+            flat: list[int] = []
+            levels_tag: list[int] = []
+            ranks_tag: list[int] = []
+            for levels in self.refs:
+                for level, members in enumerate(levels):
+                    for rank, target in enumerate(members):
+                        flat.append(int(target))
+                        levels_tag.append(level)
+                        ranks_tag.append(rank)
+            ref_flat = np.asarray(flat, dtype=np.int64)
+            ref_levels = np.asarray(levels_tag, dtype=np.int32)
+            ref_ranks = np.asarray(ranks_tag, dtype=np.int32)
+        nbr_pairs = np.stack(
+            [np.arange(n, dtype=np.int64) - 1, np.arange(n, dtype=np.int64) + 1],
+            axis=1,
+        )
+        nbr_valid = (nbr_pairs >= 0) & (nbr_pairs < n)
+        nbr_counts = nbr_valid.sum(axis=1).astype(np.int64)
+        nbr_flat = nbr_pairs[nbr_valid]
+        indptr, indices, (ref_slots, _) = assemble_rows(
+            n, [(ref_counts, ref_flat), (nbr_counts, nbr_flat)]
+        )
+        tag_level = np.full(len(indices), -1, dtype=np.int32)
+        tag_rank = np.full(len(indices), -1, dtype=np.int32)
+        tag_level[ref_slots] = ref_levels
+        tag_rank[ref_slots] = ref_ranks
+        csr = CSRAdjacency(
+            indptr=indptr, indices=indices, is_long=np.ones(len(indices), dtype=bool)
+        )
+        metric = TrieMetric(
+            self.ids,
+            self._bit_matrix,
+            tag_level,
+            tag_rank,
+            self._cell_lefts,
+            self._cell_order,
+        )
+        return csr, metric
 
     # ------------------------------------------------------------------
     # queries
@@ -142,7 +290,7 @@ class PGridOverlay(BaselineOverlay):
 
     def path_lengths(self) -> np.ndarray:
         """Return per-peer trie path lengths (the routing-state driver)."""
-        return np.asarray([len(p) for p in self.paths], dtype=np.int64)
+        return self._path_lengths.copy()
 
     def _cpl(self, path: tuple[int, ...], key_bits: tuple[int, ...]) -> int:
         l = 0
@@ -193,6 +341,8 @@ class PGridOverlay(BaselineOverlay):
 
     def table_sizes(self) -> np.ndarray:
         """Total references per peer (plus the two value-order neighbours)."""
+        if self._ref_matrix is not None:
+            return (self._ref_matrix >= 0).sum(axis=1).astype(np.int64) + 2
         return np.asarray(
             [sum(len(level) for level in levels) + 2 for levels in self.refs],
             dtype=np.int64,

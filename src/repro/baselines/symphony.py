@@ -20,7 +20,9 @@ import math
 import numpy as np
 
 from repro.baselines.base import BaselineOverlay, greedy_value_route
+from repro.core.adjacency import csr_from_flat_links
 from repro.core.bulk_construction import merge_row_pairs, row_counts, split_rows
+from repro.core.metric_routing import ClockwiseMetric, GreedyValueMetric
 from repro.core.routing import RouteResult
 from repro.keyspace import RingSpace, nearest_index, successor_indices
 
@@ -94,6 +96,29 @@ class SymphonyOverlay(BaselineOverlay):
             need = self.k - row_counts(accepted, n)
         indptr, flat = split_rows(accepted, n)
         self.long_links = np.split(flat, indptr[1:-1])
+
+    def _build_frontier(self):
+        """CSR (ring neighbours first, then links) + value-space metric.
+
+        The row order mirrors :func:`greedy_value_route`'s candidate
+        scan, and the metric is the circular distance (bidirectional) or
+        the clockwise-only remaining distance — both with Symphony's
+        nearest-peer ownership rule.
+        """
+        n = self.n
+        counts = np.fromiter(
+            (len(links) for links in self.long_links), dtype=np.int64, count=n
+        )
+        flat = (
+            np.concatenate(self.long_links) if counts.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        csr = csr_from_flat_links(n, True, counts, flat)
+        if self.bidirectional:
+            metric = GreedyValueMetric(self.ids, self.space)
+        else:
+            metric = ClockwiseMetric(self.ids, owner_rule="nearest")
+        return csr, metric
 
     @property
     def n(self) -> int:

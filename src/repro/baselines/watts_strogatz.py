@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines.base import BaselineOverlay
+from repro.baselines.base import BaselineOverlay, assemble_rows
+from repro.core.adjacency import CSRAdjacency
+from repro.core.metric_routing import LatticeMetric
 from repro.core.routing import RouteResult
 
 __all__ = ["WattsStrogatzOverlay"]
@@ -63,6 +65,28 @@ class WattsStrogatzOverlay(BaselineOverlay):
         self.adjacency = [
             np.asarray(sorted(neigh), dtype=np.int64) for neigh in adjacency
         ]
+
+    def _build_frontier(self):
+        """CSR of the (sorted) adjacency lists + the ring-index metric.
+
+        All hops count as neighbour hops, matching the scalar router's
+        accounting (the rewired shortcuts carry no distance semantics).
+        """
+        n = self._n
+        counts = np.fromiter(
+            (len(neigh) for neigh in self.adjacency), dtype=np.int64, count=n
+        )
+        flat = (
+            np.concatenate(self.adjacency) if counts.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        indptr, indices, _ = assemble_rows(n, [(counts, flat)])
+        csr = CSRAdjacency(
+            indptr=indptr,
+            indices=indices,
+            is_long=np.zeros(len(indices), dtype=bool),
+        )
+        return csr, LatticeMetric(n)
 
     @property
     def n(self) -> int:

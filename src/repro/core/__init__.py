@@ -38,6 +38,16 @@ from repro.core.builder import (
     build_uniform_model,
 )
 from repro.core.graph import SmallWorldGraph
+from repro.core.metric_routing import (
+    ClockwiseMetric,
+    GreedyValueMetric,
+    LatticeMetric,
+    PrefixDigitMetric,
+    RoutingMetric,
+    TorusZoneMetric,
+    TrieMetric,
+    frontier_route_many,
+)
 from repro.core.kleinberg import (
     KleinbergRing,
     KleinbergTorus,
@@ -81,6 +91,14 @@ __all__ = [
     "bulk_exact_links",
     "bulk_harmonic_positions",
     "symmetrize_flat",
+    "RoutingMetric",
+    "GreedyValueMetric",
+    "ClockwiseMetric",
+    "PrefixDigitMetric",
+    "TrieMetric",
+    "TorusZoneMetric",
+    "LatticeMetric",
+    "frontier_route_many",
     "greedy_route",
     "lookahead_route",
     "route_many",

@@ -37,7 +37,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.graph import SmallWorldGraph
 
-__all__ = ["CSRAdjacency", "build_csr", "csr_from_flat_links"]
+__all__ = ["CSRAdjacency", "build_csr", "csr_from_flat_links", "segment_offsets"]
 
 
 @dataclass(frozen=True)
@@ -97,8 +97,13 @@ class CSRAdjacency:
         return f"CSRAdjacency(n={self.n}, edges={self.n_edges})"
 
 
-def _flat_offsets(counts: np.ndarray) -> np.ndarray:
-    """Return ``[0..c0), [0..c1), ...`` concatenated for segment fills."""
+def segment_offsets(counts: np.ndarray) -> np.ndarray:
+    """Return ``[0..c0), [0..c1), ...`` concatenated for segment fills.
+
+    The shared CSR-row fill helper: every per-row scatter in this module
+    and in the baseline frontier assembly
+    (:func:`repro.baselines.base.assemble_rows`) goes through it.
+    """
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
@@ -174,9 +179,9 @@ def csr_from_flat_links(
     indices = np.empty(int(indptr[-1]), dtype=np.int64)
     is_long = np.zeros(len(indices), dtype=bool)
 
-    nbr_slots = np.repeat(indptr[:-1], nbr_counts) + _flat_offsets(nbr_counts)
+    nbr_slots = np.repeat(indptr[:-1], nbr_counts) + segment_offsets(nbr_counts)
     long_slots = (
-        np.repeat(indptr[:-1] + nbr_counts, long_counts) + _flat_offsets(long_counts)
+        np.repeat(indptr[:-1] + nbr_counts, long_counts) + segment_offsets(long_counts)
     )
     indices[nbr_slots] = nbr_flat
     indices[long_slots] = long_flat

@@ -6,9 +6,14 @@ each walk only ever consults its own current node's out-edges.  The scalar
 implementation; this module is the throughput engine every experiment and
 benchmark routes through.
 
-The engine keeps *frontier arrays* over all still-active walks (current
-node, current distance, hop counters, done/stuck masks) and advances the
-whole frontier one hop per numpy step:
+The frontier scheme itself lives in the metric-parameterized kernel
+(:mod:`repro.core.metric_routing`), which routes whole lookup batches
+over *any* CSR adjacency under a declarative routing rule — the same
+engine the baseline comparators (Chord, Pastry, Symphony, Mercury, CAN,
+P-Grid, Watts–Strogatz) ride through
+:func:`repro.baselines.route_many_overlay`.  :func:`route_many` binds
+that kernel to a :class:`~repro.core.graph.SmallWorldGraph`'s cached CSR
+with the paper's symmetric greedy key/normalized metric:
 
 1. gather every active walk's out-edges from the graph's cached CSR
    adjacency (:mod:`repro.core.adjacency`) into a dense
@@ -31,12 +36,18 @@ router across spaces, metrics and liveness masks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.core.graph import SmallWorldGraph
-from repro.core.routing import RouteResult
+from repro.core.metric_routing import (
+    REASON_ARRIVED,
+    REASON_MAX_HOPS,
+    REASON_STUCK,
+    BatchRouteResult,
+    GreedyValueMetric,
+    _assemble_paths,
+    frontier_route_many,
+)
 from repro.keyspace import nearest_indices
 
 __all__ = [
@@ -48,94 +59,6 @@ __all__ = [
     "REASON_STUCK",
     "REASON_MAX_HOPS",
 ]
-
-#: Reason codes stored in :attr:`BatchRouteResult.reason_codes`.
-REASON_ARRIVED = 0
-REASON_STUCK = 1
-REASON_MAX_HOPS = 2
-
-_REASON_LABELS = np.array(["arrived", "stuck", "max_hops"])
-
-
-@dataclass
-class BatchRouteResult:
-    """Outcome of a batch of greedy lookups, column-wise.
-
-    One entry per requested route, aligned across all arrays.  Field
-    semantics match :class:`repro.core.routing.RouteResult` exactly.
-
-    Attributes:
-        success: bool array — the walk arrived at its key's owner.
-        hops: int64 array — total edges traversed.
-        neighbor_hops: int64 array — hops over ring/interval edges.
-        long_hops: int64 array — hops over long-range edges.
-        reason_codes: int8 array of ``REASON_*`` codes (see
-            :attr:`reasons` for the string view).
-        sources: int64 array — originating peers.
-        target_keys: float array — the looked-up keys.
-        owners: int64 array — each key's owner peer.
-        paths: per-route visited-node lists, only populated when
-            ``record_paths=True`` was requested (path recording is the
-            one part of the result that cannot be a rectangular array).
-    """
-
-    success: np.ndarray
-    hops: np.ndarray
-    neighbor_hops: np.ndarray
-    long_hops: np.ndarray
-    reason_codes: np.ndarray
-    sources: np.ndarray
-    target_keys: np.ndarray
-    owners: np.ndarray
-    paths: list[list[int]] | None = None
-
-    def __len__(self) -> int:
-        return len(self.hops)
-
-    @property
-    def n_routes(self) -> int:
-        """Number of routes in the batch."""
-        return len(self.hops)
-
-    @property
-    def reasons(self) -> np.ndarray:
-        """String view of :attr:`reason_codes` (``"arrived"`` etc.)."""
-        return _REASON_LABELS[self.reason_codes]
-
-    @property
-    def success_rate(self) -> float:
-        """Fraction of routes that reached their owner."""
-        return float(self.success.mean()) if len(self) else 0.0
-
-    @property
-    def mean_hops(self) -> float:
-        """Mean hop count over all routes, successful or not."""
-        return float(self.hops.mean()) if len(self) else 0.0
-
-    def to_route_results(self) -> list[RouteResult]:
-        """Materialise per-route :class:`RouteResult` objects.
-
-        When the batch recorded paths, each result carries its full
-        visited-node list; otherwise the path degenerates to the
-        one-element ``[source]`` (intermediate nodes are never
-        fabricated).
-        """
-        out = []
-        for i in range(len(self)):
-            path = self.paths[i] if self.paths is not None else [int(self.sources[i])]
-            out.append(
-                RouteResult(
-                    success=bool(self.success[i]),
-                    hops=int(self.hops[i]),
-                    neighbor_hops=int(self.neighbor_hops[i]),
-                    long_hops=int(self.long_hops[i]),
-                    path=path,
-                    reason=str(_REASON_LABELS[self.reason_codes[i]]),
-                    target_key=float(self.target_keys[i]),
-                    owner=int(self.owners[i]),
-                )
-            )
-        return out
 
 
 def _positions_and_targets(
@@ -172,6 +95,19 @@ def _owners_under_metric(
     return live[local].astype(np.int64)
 
 
+def _graph_metric(graph: SmallWorldGraph, metric: str) -> GreedyValueMetric:
+    """Bind the paper's greedy rule for ``graph`` under a metric name."""
+    if metric == "key":
+        return GreedyValueMetric(graph.ids, graph.space)
+    if metric == "normalized":
+        return GreedyValueMetric(
+            graph.normalized_ids,
+            graph.space,
+            transform=lambda keys: _positions_and_targets(graph, keys, "normalized")[1],
+        )
+    raise ValueError(f"unknown metric {metric!r}; choose 'key' or 'normalized'")
+
+
 def route_many(
     graph: SmallWorldGraph,
     sources: np.ndarray,
@@ -185,7 +121,8 @@ def route_many(
 
     Semantically equivalent to calling :func:`repro.core.routing.greedy_route`
     once per pair, but advancing all walks together one hop per numpy
-    step (see module docstring for the frontier scheme).
+    step through :func:`repro.core.metric_routing.frontier_route_many`
+    (see module docstring for the frontier scheme).
 
     Args:
         graph: the overlay to route on.
@@ -201,117 +138,14 @@ def route_many(
         ValueError: on mismatched inputs, an invalid metric, an
             out-of-range or dead source peer, or no live peers.
     """
-    n = graph.n
-    sources = np.asarray(sources, dtype=np.int64)
-    target_keys = np.asarray(target_keys, dtype=float)
-    if sources.ndim != 1 or target_keys.ndim != 1:
-        raise ValueError("sources and target_keys must be one-dimensional")
-    if len(sources) != len(target_keys):
-        raise ValueError(
-            f"got {len(sources)} sources but {len(target_keys)} target keys"
-        )
-    if len(sources) and (sources.min() < 0 or sources.max() >= n):
-        bad = sources[(sources < 0) | (sources >= n)][0]
-        raise ValueError(f"source index {bad} out of range for {n} peers")
-    if alive is not None:
-        alive = np.asarray(alive, dtype=bool)
-        if not alive[sources].all():
-            bad = sources[~alive[sources]][0]
-            raise ValueError(f"source peer {bad} is not alive")
-    if max_hops is None:
-        max_hops = n
-
-    n_routes = len(sources)
-    positions, target_pos = _positions_and_targets(graph, target_keys, metric)
-    owners = _owners_under_metric(graph, positions, target_pos, alive)
-
-    csr = graph.adjacency
-    indptr, indices, is_long = csr.indptr, csr.indices, csr.is_long
-    space = graph.space
-
-    current = sources.copy()
-    current_dist = space.pairwise_distances(positions[current], target_pos)
-    hops = np.zeros(n_routes, dtype=np.int64)
-    neighbor_hops = np.zeros(n_routes, dtype=np.int64)
-    long_hops = np.zeros(n_routes, dtype=np.int64)
-    reason_codes = np.full(n_routes, REASON_ARRIVED, dtype=np.int8)
-    success = current == owners
-    active = ~success
-    step_walks: list[np.ndarray] = []
-    step_nodes: list[np.ndarray] = []
-
-    while True:
-        frontier = np.flatnonzero(active)
-        if frontier.size == 0:
-            break
-        # Budget check first, mirroring the scalar router's loop head.
-        exhausted = hops[frontier] >= max_hops
-        if exhausted.any():
-            spent = frontier[exhausted]
-            reason_codes[spent] = REASON_MAX_HOPS
-            active[spent] = False
-            frontier = frontier[~exhausted]
-            if frontier.size == 0:
-                break
-
-        cur = current[frontier]
-        starts = indptr[cur]
-        degrees = indptr[cur + 1] - starts
-        max_degree = int(degrees.max())
-        if max_degree == 0:
-            reason_codes[frontier] = REASON_STUCK
-            active[frontier] = False
-            break
-        lanes = np.arange(max_degree, dtype=np.int64)
-        valid = lanes[None, :] < degrees[:, None]
-        slots = np.where(valid, starts[:, None] + lanes[None, :], 0)
-        candidates = indices[slots]
-        cand_dist = space.pairwise_distances(
-            positions[candidates], target_pos[frontier][:, None]
-        )
-        usable = valid
-        if alive is not None:
-            usable = usable & alive[candidates]
-        cand_dist = np.where(usable, cand_dist, np.inf)
-
-        rows = np.arange(frontier.size)
-        best_lane = np.argmin(cand_dist, axis=1)
-        best_dist = cand_dist[rows, best_lane]
-        improves = best_dist < current_dist[frontier]
-
-        stuck = frontier[~improves]
-        if stuck.size:
-            reason_codes[stuck] = REASON_STUCK
-            active[stuck] = False
-
-        movers = frontier[improves]
-        if movers.size:
-            move_rows = rows[improves]
-            chosen = candidates[move_rows, best_lane[improves]]
-            chosen_long = is_long[slots[move_rows, best_lane[improves]]]
-            current[movers] = chosen
-            current_dist[movers] = best_dist[improves]
-            hops[movers] += 1
-            neighbor_hops[movers] += ~chosen_long
-            long_hops[movers] += chosen_long
-            if record_paths:
-                step_walks.append(movers)
-                step_nodes.append(chosen)
-            arrived = chosen == owners[movers]
-            success[movers[arrived]] = True
-            active[movers[arrived]] = False
-
-    paths = _assemble_paths(sources, step_walks, step_nodes) if record_paths else None
-    return BatchRouteResult(
-        success=success,
-        hops=hops,
-        neighbor_hops=neighbor_hops,
-        long_hops=long_hops,
-        reason_codes=reason_codes,
-        sources=sources,
-        target_keys=target_keys,
-        owners=owners,
-        paths=paths,
+    return frontier_route_many(
+        graph.adjacency,
+        _graph_metric(graph, metric),
+        sources,
+        target_keys,
+        alive=alive,
+        max_hops=max_hops,
+        record_paths=record_paths,
     )
 
 
@@ -482,31 +316,6 @@ def lookahead_route_many(
         owners=owners,
         paths=paths,
     )
-
-
-def _assemble_paths(
-    sources: np.ndarray,
-    step_walks: list[np.ndarray],
-    step_nodes: list[np.ndarray],
-) -> list[list[int]]:
-    """Rebuild per-walk paths from the per-step (walk, node) records.
-
-    A stable sort by walk id preserves step order within each walk, so
-    each path is its source followed by the nodes it stepped onto.
-    """
-    paths: list[list[int]] = [[int(s)] for s in sources]
-    if not step_walks:
-        return paths
-    walks = np.concatenate(step_walks)
-    nodes = np.concatenate(step_nodes)
-    order = np.argsort(walks, kind="stable")
-    walks = walks[order]
-    nodes = nodes[order]
-    counts = np.bincount(walks, minlength=len(sources))
-    for walk_id, segment in enumerate(np.split(nodes, np.cumsum(counts)[:-1])):
-        if len(segment):
-            paths[walk_id].extend(int(x) for x in segment)
-    return paths
 
 
 def sample_batch(

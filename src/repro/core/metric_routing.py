@@ -1,0 +1,781 @@
+"""Metric-parameterized batch frontier routing: one kernel, many overlays.
+
+PR 1's batch engine (:mod:`repro.core.batch_routing`) vectorized greedy
+key-distance routing over the small-world model's CSR adjacency.  Every
+*comparator* overlay (Chord, Pastry, Symphony, Mercury, CAN, P-Grid,
+Watts–Strogatz), however, kept routing one lookup per Python call — the
+last scalar hot path in the repository.
+
+This module generalises the frontier scheme: the kernel
+(:func:`frontier_route_many`) owns all walk bookkeeping — frontier
+masks, hop budgets, candidate gathering from a :class:`CSRAdjacency`,
+liveness masking, arrival/stuck/budget accounting, optional path
+recording — while the *routing rule* is a declarative
+:class:`RoutingMetric` object that scores dense ``(walks, lanes)``
+candidate blocks.  Each step:
+
+1. gather every active walk's out-edges into a padded candidate block
+   (exactly as :func:`repro.core.batch_routing.route_many` does);
+2. ask the metric for per-candidate scores (``inf`` = ineligible);
+3. move each walk to its ``argmin`` candidate when the score beats the
+   walk's move threshold — the current greedy distance for *greedy*
+   metrics (``metric.greedy``), or unconditionally-if-eligible for
+   rule-based metrics (Pastry's prefix rule, P-Grid's trie rule);
+4. walks that land on their key's owner stop as ``"arrived"``; walks
+   with no move stop as ``"stuck"`` (unless the metric's
+   ``terminal_owner_hop`` grants the Chord-style final hop onto an
+   owner candidate).
+
+The shipped metric families cover every baseline routing rule the paper
+compares against:
+
+* :class:`GreedyValueMetric` — symmetric circular/interval distance
+  (the small-world model, Symphony bidirectional, Mercury);
+* :class:`ClockwiseMetric` — clockwise-only remaining distance
+  (Chord's closest-preceding-finger rule, Symphony unidirectional);
+* :class:`PrefixDigitMetric` — Pastry's prefix-extension rule with the
+  numerically-closer fallback scan;
+* :class:`TrieMetric` — P-Grid's resolve-one-bit rule with the
+  value-order fallback step;
+* :class:`TorusZoneMetric` — CAN's greedy zone walk under torus L1
+  distance;
+* :class:`LatticeMetric` — Watts–Strogatz greedy ring-index distance.
+
+Every metric is constructed by its overlay's
+:meth:`repro.baselines.base.BaselineOverlay._build_frontier` alongside
+the matching CSR (and per-edge tag arrays where the rule needs them),
+and the scalar ``route`` implementations remain the semantic reference:
+the equivalence suite pins the kernel hop-for-hop against each of them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.adjacency import CSRAdjacency
+from repro.core.routing import RouteResult
+from repro.keyspace import RingSpace, digit_rows, nearest_indices, successor_indices
+
+__all__ = [
+    "BatchRouteResult",
+    "RoutingMetric",
+    "PreparedTargets",
+    "GreedyValueMetric",
+    "ClockwiseMetric",
+    "PrefixDigitMetric",
+    "TrieMetric",
+    "TorusZoneMetric",
+    "LatticeMetric",
+    "frontier_route_many",
+    "REASON_ARRIVED",
+    "REASON_STUCK",
+    "REASON_MAX_HOPS",
+]
+
+#: Reason codes stored in :attr:`BatchRouteResult.reason_codes`.
+REASON_ARRIVED = 0
+REASON_STUCK = 1
+REASON_MAX_HOPS = 2
+
+_REASON_LABELS = np.array(["arrived", "stuck", "max_hops"])
+
+#: Score reserved for rule-based metrics' primary (always-take) moves;
+#: any finite fallback score is worse, ``inf`` marks ineligible lanes.
+_PRIMARY_SCORE = -1e9
+
+
+@dataclass
+class BatchRouteResult:
+    """Outcome of a batch of greedy lookups, column-wise.
+
+    One entry per requested route, aligned across all arrays.  Field
+    semantics match :class:`repro.core.routing.RouteResult` exactly.
+
+    Attributes:
+        success: bool array — the walk arrived at its key's owner.
+        hops: int64 array — total edges traversed.
+        neighbor_hops: int64 array — hops over ring/interval edges.
+        long_hops: int64 array — hops over long-range edges.
+        reason_codes: int8 array of ``REASON_*`` codes (see
+            :attr:`reasons` for the string view).
+        sources: int64 array — originating peers.
+        target_keys: float array — the looked-up keys.
+        owners: int64 array — each key's owner peer.
+        paths: per-route visited-node lists, only populated when
+            ``record_paths=True`` was requested (path recording is the
+            one part of the result that cannot be a rectangular array).
+    """
+
+    success: np.ndarray
+    hops: np.ndarray
+    neighbor_hops: np.ndarray
+    long_hops: np.ndarray
+    reason_codes: np.ndarray
+    sources: np.ndarray
+    target_keys: np.ndarray
+    owners: np.ndarray
+    paths: list[list[int]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def n_routes(self) -> int:
+        """Number of routes in the batch."""
+        return len(self.hops)
+
+    @property
+    def reasons(self) -> np.ndarray:
+        """String view of :attr:`reason_codes` (``"arrived"`` etc.)."""
+        return _REASON_LABELS[self.reason_codes]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of routes that reached their owner."""
+        return float(self.success.mean()) if len(self) else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count over all routes, successful or not."""
+        return float(self.hops.mean()) if len(self) else 0.0
+
+    def to_route_results(self) -> list[RouteResult]:
+        """Materialise per-route :class:`RouteResult` objects.
+
+        When the batch recorded paths, each result carries its full
+        visited-node list; otherwise the path degenerates to the
+        one-element ``[source]`` (intermediate nodes are never
+        fabricated).
+        """
+        out = []
+        for i in range(len(self)):
+            path = self.paths[i] if self.paths is not None else [int(self.sources[i])]
+            out.append(
+                RouteResult(
+                    success=bool(self.success[i]),
+                    hops=int(self.hops[i]),
+                    neighbor_hops=int(self.neighbor_hops[i]),
+                    long_hops=int(self.long_hops[i]),
+                    path=path,
+                    reason=str(_REASON_LABELS[self.reason_codes[i]]),
+                    target_key=float(self.target_keys[i]),
+                    owner=int(self.owners[i]),
+                )
+            )
+        return out
+
+
+@dataclass
+class PreparedTargets:
+    """Per-batch target state produced by :meth:`RoutingMetric.prepare`.
+
+    Attributes:
+        owners: ``(routes,)`` int64 — each key's owner peer index (the
+            kernel's arrival condition).
+        targets: per-route target representation in whatever coordinates
+            the metric scores in (transformed keys, owner indices, torus
+            points, ...).
+        extra: optional metric-private payload (digit matrices etc.).
+    """
+
+    owners: np.ndarray
+    targets: np.ndarray
+    extra: object = None
+
+
+class RoutingMetric(ABC):
+    """Declarative routing rule consumed by :func:`frontier_route_many`.
+
+    A metric binds one overlay's geometry (peer coordinates, digit
+    strings, zone boxes, per-edge tags) and scores candidate blocks for
+    the kernel.  Two regimes:
+
+    * ``greedy = True`` — scores are distances-to-target; the kernel
+      moves a walk only when the best candidate *strictly improves* the
+      walk's current score, and tracks that score across steps.
+    * ``greedy = False`` — rule-based; the kernel moves whenever any
+      candidate is eligible (finite score).  The metric encodes rule
+      priority in the score ordering (``_PRIMARY_SCORE`` first).
+
+    ``terminal_owner_hop = True`` grants Chord's final hop: a walk with
+    no eligible move steps onto a candidate that *is* its owner instead
+    of going stuck.
+    """
+
+    greedy: bool = True
+    terminal_owner_hop: bool = False
+
+    @abstractmethod
+    def prepare(
+        self, target_keys: np.ndarray, alive: np.ndarray | None = None
+    ) -> PreparedTargets:
+        """Transform raw lookup keys and resolve each key's owner."""
+
+    def initial_scores(self, nodes: np.ndarray, state: PreparedTargets) -> np.ndarray:
+        """Per-walk move threshold at the walk's starting node."""
+        if not self.greedy:
+            return np.full(len(nodes), np.inf)
+        raise NotImplementedError  # pragma: no cover - greedy metrics override
+
+    @abstractmethod
+    def candidate_scores(
+        self,
+        candidates: np.ndarray,
+        slots: np.ndarray,
+        usable: np.ndarray,
+        state: PreparedTargets,
+        walks: np.ndarray,
+        current: np.ndarray,
+    ) -> np.ndarray:
+        """Score a ``(walks, lanes)`` candidate block; ``inf`` = ineligible.
+
+        The kernel masks unusable lanes to ``inf`` itself after this
+        call, so metrics may return raw scores for padded/dead lanes;
+        rule-based metrics still consult ``usable`` where eligibility
+        feeds into their own rule tiers.
+
+        Args:
+            candidates: ``(w, L)`` candidate node indices (padded lanes
+                hold garbage — they are masked off in ``usable``).
+            slots: ``(w, L)`` positions of each candidate's edge in the
+                CSR arrays (for per-edge tag lookups).
+            usable: ``(w, L)`` bool — lane is a real, live edge.
+            state: the batch's :class:`PreparedTargets`.
+            walks: ``(w,)`` route indices of the active frontier.
+            current: ``(w,)`` current node of each frontier walk.
+        """
+
+    @staticmethod
+    def _no_alive(alive: np.ndarray | None) -> None:
+        if alive is not None:
+            raise ValueError("this routing metric does not support liveness masks")
+
+
+class GreedyValueMetric(RoutingMetric):
+    """Symmetric greedy distance descent over scalar peer coordinates.
+
+    The rule shared by the small-world model, Symphony (bidirectional)
+    and Mercury: move to the candidate minimising ``space.distance`` to
+    the target, only if strictly closer.  Owners resolve to the nearest
+    peer (lower-id tie-break), optionally restricted to live peers.
+
+    Args:
+        positions: sorted peer coordinates the metric measures in.
+        space: key-space geometry providing ``pairwise_distances``.
+        transform: optional vectorised key transform applied before
+            scoring (e.g. CDF normalisation, hashing).
+    """
+
+    def __init__(self, positions: np.ndarray, space, transform=None):
+        self.positions = np.asarray(positions, dtype=float)
+        self.space = space
+        self.transform = transform
+
+    def prepare(self, target_keys, alive=None) -> PreparedTargets:
+        targets = (
+            self.transform(target_keys) if self.transform is not None else target_keys
+        )
+        targets = np.asarray(targets, dtype=float)
+        if alive is None:
+            owners = nearest_indices(self.positions, targets, self.space)
+        else:
+            live = np.flatnonzero(alive)
+            if len(live) == 0:
+                raise ValueError("cannot route in a network with no live peers")
+            local = nearest_indices(self.positions[live], targets, self.space)
+            owners = live[local].astype(np.int64)
+        return PreparedTargets(owners=owners, targets=targets)
+
+    def initial_scores(self, nodes, state):
+        return self.space.pairwise_distances(self.positions[nodes], state.targets)
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        return self.space.pairwise_distances(
+            self.positions[candidates], state.targets[walks][:, None]
+        )
+
+
+class ClockwiseMetric(RoutingMetric):
+    """Clockwise-only remaining distance ``(key - position) mod 1``.
+
+    With ``owner_rule="successor"`` and ``terminal_owner_hop=True`` this
+    is exactly Chord's closest-preceding-finger rule: minimising the
+    remaining clockwise distance among candidates that do not overshoot
+    is the same ordering as maximising the clockwise advance, overshooting
+    candidates can never improve, and the one stuck state (the key lies
+    between a peer and its successor, who owns it) resolves by the final
+    hop onto the owner candidate.  With ``owner_rule="nearest"`` it is
+    Symphony's unidirectional routing option.
+
+    Args:
+        positions: sorted peer coordinates on the unit ring.
+        owner_rule: ``"successor"`` (Chord ownership) or ``"nearest"``.
+        transform: optional vectorised key transform (hashing).
+        terminal_owner_hop: grant the final hop onto an owner candidate.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        owner_rule: str = "nearest",
+        transform=None,
+        terminal_owner_hop: bool = False,
+    ):
+        if owner_rule not in ("nearest", "successor"):
+            raise ValueError(f"unknown owner rule {owner_rule!r}")
+        self.positions = np.asarray(positions, dtype=float)
+        self.owner_rule = owner_rule
+        self.transform = transform
+        self.terminal_owner_hop = terminal_owner_hop
+        self._space = RingSpace()
+
+    def prepare(self, target_keys, alive=None) -> PreparedTargets:
+        self._no_alive(alive)
+        targets = (
+            self.transform(target_keys) if self.transform is not None else target_keys
+        )
+        targets = np.asarray(targets, dtype=float)
+        if self.owner_rule == "successor":
+            owners = successor_indices(self.positions, targets)
+        else:
+            owners = nearest_indices(self.positions, targets, self._space)
+        return PreparedTargets(owners=owners, targets=targets)
+
+    def initial_scores(self, nodes, state):
+        return (state.targets - self.positions[nodes]) % 1.0
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        return (state.targets[walks][:, None] - self.positions[candidates]) % 1.0
+
+
+class PrefixDigitMetric(RoutingMetric):
+    """Pastry's rule: extend the shared digit prefix, else closer-by-rank.
+
+    Per hop, with ``l = cpl(current, key)``:
+
+    1. *primary* — the routing-table edge tagged ``(l, key_digit[l])``,
+       taken unconditionally when present (score ``_PRIMARY_SCORE``);
+    2. *fallback* — any known candidate that is numerically closer to
+       the key **and** whose rank ``(cpl, -distance)`` beats the current
+       peer's; the best rank wins, encoded as the packed score
+       ``distance - cpl`` (distance < 1 makes it lexicographic).
+
+    The candidate-cpl block is only computed for walks without a primary
+    edge (the common case resolves on tag comparisons alone).
+
+    Args:
+        positions: sorted peer coordinates on the unit ring.
+        digit_matrix: ``(n, depth)`` integer digit strings of the peers.
+        tag_level: per-edge routing-table row, ``-1`` for leaf-set edges.
+        tag_digit: per-edge routing-table column, ``-1`` for leaf edges.
+        base: the digit base ``2^b``.
+        transform: optional vectorised key transform (hashing).
+    """
+
+    greedy = False
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        digit_matrix: np.ndarray,
+        tag_level: np.ndarray,
+        tag_digit: np.ndarray,
+        base: int,
+        transform=None,
+    ):
+        self.positions = np.asarray(positions, dtype=float)
+        self.digits = np.asarray(digit_matrix)
+        self.tag_level = np.asarray(tag_level)
+        self.tag_digit = np.asarray(tag_digit)
+        self.base = base
+        self.depth = self.digits.shape[1]
+        self.transform = transform
+        self._space = RingSpace()
+
+    def prepare(self, target_keys, alive=None) -> PreparedTargets:
+        self._no_alive(alive)
+        targets = (
+            self.transform(target_keys) if self.transform is not None else target_keys
+        )
+        targets = np.asarray(targets, dtype=float)
+        owners = nearest_indices(self.positions, targets, self._space)
+        # digit_rows rejects keys outside [0, 1), mirroring the scalar
+        # reference router's repro.keyspace.digits validation.
+        key_digits = digit_rows(targets, self.base, self.depth).astype(
+            self.digits.dtype
+        )
+        return PreparedTargets(owners=owners, targets=targets, extra=key_digits)
+
+    def _cpl_current(self, current, key_digits):
+        neq = self.digits[current] != key_digits
+        return np.where(neq.any(axis=1), neq.argmax(axis=1), self.depth)
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        key_digits = state.extra[walks]
+        cpl_cur = self._cpl_current(current, key_digits)
+        wanted_digit = key_digits[
+            np.arange(len(walks)), np.minimum(cpl_cur, self.depth - 1)
+        ]
+        primary = (
+            usable
+            & (cpl_cur[:, None] < self.depth)
+            & (self.tag_level[slots] == cpl_cur[:, None])
+            & (self.tag_digit[slots] == wanted_digit[:, None])
+        )
+        scores = np.where(primary, _PRIMARY_SCORE, np.inf)
+        # Fallback scan only for walks the primary rule cannot serve —
+        # the expensive per-candidate cpl block stays off the hot path.
+        need = ~primary.any(axis=1)
+        if need.any():
+            rows = np.flatnonzero(need)
+            cand = candidates[rows]
+            cur_dist = self._space.pairwise_distances(
+                self.positions[current[rows]], state.targets[walks][rows]
+            )
+            cand_dist = self._space.pairwise_distances(
+                self.positions[cand], state.targets[walks][rows][:, None]
+            )
+            neq = self.digits[cand] != key_digits[rows][:, None, :]
+            cand_l = np.where(neq.any(axis=2), neq.argmax(axis=2), self.depth)
+            eligible = (
+                usable[rows]
+                & (cand_dist < cur_dist[:, None])
+                & (cand_l >= cpl_cur[rows][:, None])
+            )
+            scores[rows] = np.where(eligible, cand_dist - cand_l, np.inf)
+        return scores
+
+
+class TrieMetric(RoutingMetric):
+    """P-Grid's rule: resolve one differing bit, else step in value order.
+
+    Per hop, with ``l = cpl(current_path, key_bits)``: take the level-``l``
+    reference (the first one — rank 0) when the trie has one; otherwise
+    step to the index neighbour toward the key's value (``+1`` when
+    ``key > ids[current]``, ``-1`` otherwise; stepping off the interval
+    end goes stuck).
+
+    Args:
+        positions: sorted peer identifiers.
+        bit_matrix: ``(n, max_depth)`` trie paths, padded with ``-1``.
+        tag_level: per-edge trie level of reference edges, ``-1`` for
+            the value-order neighbour edges.
+        tag_rank: per-edge rank within the level's reference list.
+        cell_lefts: sorted left edges of the leaf cells (ownership).
+        cell_order: peer index owning each sorted cell.
+    """
+
+    greedy = False
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        bit_matrix: np.ndarray,
+        tag_level: np.ndarray,
+        tag_rank: np.ndarray,
+        cell_lefts: np.ndarray,
+        cell_order: np.ndarray,
+    ):
+        self.positions = np.asarray(positions, dtype=float)
+        self.bits = np.asarray(bit_matrix)
+        self.tag_level = np.asarray(tag_level)
+        self.tag_rank = np.asarray(tag_rank)
+        self.cell_lefts = np.asarray(cell_lefts, dtype=float)
+        self.cell_order = np.asarray(cell_order, dtype=np.int64)
+        self.max_depth = self.bits.shape[1]
+
+    def prepare(self, target_keys, alive=None) -> PreparedTargets:
+        self._no_alive(alive)
+        targets = np.asarray(target_keys, dtype=float)
+        pos = np.maximum(
+            np.searchsorted(self.cell_lefts, targets, side="right") - 1, 0
+        )
+        owners = self.cell_order[pos]
+        # digit_rows rejects keys outside [0, 1), mirroring the scalar
+        # reference router's owner_of validation.
+        key_bits = digit_rows(targets, 2, self.max_depth).astype(self.bits.dtype)
+        return PreparedTargets(owners=owners, targets=targets, extra=key_bits)
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        key_bits = state.extra[walks]
+        # Padding bits (-1) never match a key bit, so the argmax trick
+        # caps each cpl at the peer's own path length automatically.
+        neq = self.bits[current] != key_bits
+        cpl = np.where(neq.any(axis=1), neq.argmax(axis=1), self.max_depth)
+        primary = (
+            usable
+            & (self.tag_level[slots] == cpl[:, None])
+            & (self.tag_rank[slots] == 0)
+        )
+        want = np.where(
+            state.targets[walks] > self.positions[current], current + 1, current - 1
+        )
+        fallback = usable & (self.tag_level[slots] == -1) & (candidates == want[:, None])
+        return np.where(primary, _PRIMARY_SCORE, np.where(fallback, 0.0, np.inf))
+
+
+class TorusZoneMetric(RoutingMetric):
+    """CAN's greedy zone walk: torus L1 distance from point to zone box.
+
+    Args:
+        lo: ``(n, d)`` inclusive lower corners of the zones.
+        hi: ``(n, d)`` exclusive upper corners.
+        point_fn: vectorised key → ``(w, d)`` torus point embedding.
+        owner_fn: vectorised ``(w, d)`` points → owning zone indices.
+    """
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, point_fn, owner_fn):
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        self.point_fn = point_fn
+        self.owner_fn = owner_fn
+        self.dims = self.lo.shape[1]
+
+    def prepare(self, target_keys, alive=None) -> PreparedTargets:
+        self._no_alive(alive)
+        points = self.point_fn(np.asarray(target_keys, dtype=float))
+        owners = self.owner_fn(points)
+        return PreparedTargets(owners=owners, targets=points)
+
+    def _zone_distances(self, points: np.ndarray, zones: np.ndarray) -> np.ndarray:
+        """L1 torus distance from each point to each zone box.
+
+        Mirrors the scalar :meth:`CANOverlay._axis_distance` expression
+        per dimension, accumulated in dimension order.
+        """
+        total = np.zeros(zones.shape)
+        for k in range(self.dims):
+            x = points[:, k]
+            x = x[:, None] if zones.ndim == 2 else x
+            lo = self.lo[zones, k]
+            hi = self.hi[zones, k]
+            inside = (lo <= x) & (x < hi)
+            direct = np.minimum(np.abs(x - lo), np.abs(x - hi))
+            wrapped = np.minimum(
+                np.minimum(np.abs(x - lo + 1.0), np.abs(x - lo - 1.0)),
+                np.minimum(np.abs(x - hi + 1.0), np.abs(x - hi - 1.0)),
+            )
+            total = total + np.where(inside, 0.0, np.minimum(direct, wrapped))
+        return total
+
+    def initial_scores(self, nodes, state):
+        return self._zone_distances(state.targets, nodes)
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        return self._zone_distances(state.targets[walks], candidates)
+
+
+class LatticeMetric(RoutingMetric):
+    """Watts–Strogatz greedy routing by ring *index* distance.
+
+    Keys map to lattice nodes (``owner = floor(key * n) mod n``) and the
+    distance is the integer circular index gap — computed in int64 so
+    ties are exact, then widened to float for the kernel's ``inf``
+    masking.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def prepare(self, target_keys, alive=None) -> PreparedTargets:
+        self._no_alive(alive)
+        targets = np.asarray(target_keys, dtype=float)
+        if len(targets) and np.any((targets < 0.0) | (targets >= 1.0)):
+            bad = targets[(targets < 0.0) | (targets >= 1.0)][0]
+            raise ValueError(f"key {bad!r} outside [0, 1)")
+        owners = (targets * self.n).astype(np.int64) % self.n
+        return PreparedTargets(owners=owners, targets=owners)
+
+    def _index_distance(self, a, b):
+        gap = np.abs(a - b) % self.n
+        return np.minimum(gap, self.n - gap).astype(float)
+
+    def initial_scores(self, nodes, state):
+        return self._index_distance(nodes, state.owners)
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        return self._index_distance(candidates, state.owners[walks][:, None])
+
+
+def frontier_route_many(
+    csr: CSRAdjacency,
+    metric: RoutingMetric,
+    sources: np.ndarray,
+    target_keys: np.ndarray,
+    alive: np.ndarray | None = None,
+    max_hops: int | None = None,
+    record_paths: bool = False,
+) -> BatchRouteResult:
+    """Route every ``(source, target_key)`` pair over ``csr`` under ``metric``.
+
+    The generalisation of :func:`repro.core.batch_routing.route_many`
+    (which delegates here): all walks advance together one hop per numpy
+    step, with the routing rule supplied declaratively (see module
+    docstring).  Semantically equivalent to the corresponding scalar
+    ``route`` loop run once per pair.
+
+    Args:
+        csr: the overlay's flattened edge set.
+        metric: the overlay's routing rule.
+        sources: int array of originating peers (must all be live).
+        target_keys: float array of lookup keys, aligned with ``sources``.
+        alive: optional boolean liveness mask; dead peers are invisible
+            (only supported by metrics that resolve owners among live
+            peers).
+        max_hops: per-route hop budget; defaults to ``n``.
+        record_paths: also record every walk's visited-node list (costs
+            memory proportional to total hops; off by default).
+
+    Raises:
+        ValueError: on mismatched inputs, an out-of-range or dead source
+            peer, or metric-specific target validation failures.
+    """
+    n = csr.n
+    sources = np.asarray(sources, dtype=np.int64)
+    target_keys = np.asarray(target_keys, dtype=float)
+    if sources.ndim != 1 or target_keys.ndim != 1:
+        raise ValueError("sources and target_keys must be one-dimensional")
+    if len(sources) != len(target_keys):
+        raise ValueError(
+            f"got {len(sources)} sources but {len(target_keys)} target keys"
+        )
+    if len(sources) and (sources.min() < 0 or sources.max() >= n):
+        bad = sources[(sources < 0) | (sources >= n)][0]
+        raise ValueError(f"source index {bad} out of range for {n} peers")
+    if alive is not None:
+        alive = np.asarray(alive, dtype=bool)
+        if not alive[sources].all():
+            bad = sources[~alive[sources]][0]
+            raise ValueError(f"source peer {bad} is not alive")
+    if max_hops is None:
+        max_hops = n
+
+    n_routes = len(sources)
+    state = metric.prepare(target_keys, alive)
+    owners = np.asarray(state.owners, dtype=np.int64)
+
+    indptr, indices, is_long = csr.indptr, csr.indices, csr.is_long
+
+    current = sources.copy()
+    current_score = np.asarray(metric.initial_scores(current, state), dtype=float)
+    hops = np.zeros(n_routes, dtype=np.int64)
+    neighbor_hops = np.zeros(n_routes, dtype=np.int64)
+    long_hops = np.zeros(n_routes, dtype=np.int64)
+    reason_codes = np.full(n_routes, REASON_ARRIVED, dtype=np.int8)
+    success = current == owners
+    active = ~success
+    step_walks: list[np.ndarray] = []
+    step_nodes: list[np.ndarray] = []
+
+    while True:
+        frontier = np.flatnonzero(active)
+        if frontier.size == 0:
+            break
+        # Budget check first, mirroring the scalar routers' loop heads.
+        exhausted = hops[frontier] >= max_hops
+        if exhausted.any():
+            spent = frontier[exhausted]
+            reason_codes[spent] = REASON_MAX_HOPS
+            active[spent] = False
+            frontier = frontier[~exhausted]
+            if frontier.size == 0:
+                break
+
+        cur = current[frontier]
+        starts = indptr[cur]
+        degrees = indptr[cur + 1] - starts
+        max_degree = int(degrees.max())
+        if max_degree == 0:
+            reason_codes[frontier] = REASON_STUCK
+            active[frontier] = False
+            break
+        lanes = np.arange(max_degree, dtype=np.int64)
+        valid = lanes[None, :] < degrees[:, None]
+        slots = np.where(valid, starts[:, None] + lanes[None, :], 0)
+        candidates = indices[slots]
+        usable = valid
+        if alive is not None:
+            usable = usable & alive[candidates]
+
+        scores = metric.candidate_scores(
+            candidates, slots, usable, state, frontier, cur
+        )
+        scores = np.where(usable, scores, np.inf)
+
+        rows = np.arange(frontier.size)
+        best_lane = np.argmin(scores, axis=1)
+        improves = scores[rows, best_lane] < current_score[frontier]
+
+        if metric.terminal_owner_hop and not improves.all():
+            # Chord's final hop: a walk with no improving candidate may
+            # still step onto a candidate that IS its key's owner.
+            owner_mask = usable & (candidates == owners[frontier][:, None])
+            terminal = ~improves & owner_mask.any(axis=1)
+            if terminal.any():
+                best_lane = np.where(terminal, owner_mask.argmax(axis=1), best_lane)
+                improves = improves | terminal
+
+        stuck = frontier[~improves]
+        if stuck.size:
+            reason_codes[stuck] = REASON_STUCK
+            active[stuck] = False
+
+        movers = frontier[improves]
+        if movers.size:
+            move_rows = rows[improves]
+            move_lanes = best_lane[improves]
+            chosen = candidates[move_rows, move_lanes]
+            chosen_long = is_long[slots[move_rows, move_lanes]]
+            current[movers] = chosen
+            if metric.greedy:
+                current_score[movers] = scores[move_rows, move_lanes]
+            hops[movers] += 1
+            neighbor_hops[movers] += ~chosen_long
+            long_hops[movers] += chosen_long
+            if record_paths:
+                step_walks.append(movers)
+                step_nodes.append(chosen)
+            arrived = chosen == owners[movers]
+            success[movers[arrived]] = True
+            active[movers[arrived]] = False
+
+    paths = _assemble_paths(sources, step_walks, step_nodes) if record_paths else None
+    return BatchRouteResult(
+        success=success,
+        hops=hops,
+        neighbor_hops=neighbor_hops,
+        long_hops=long_hops,
+        reason_codes=reason_codes,
+        sources=sources,
+        target_keys=target_keys,
+        owners=owners,
+        paths=paths,
+    )
+
+
+def _assemble_paths(
+    sources: np.ndarray,
+    step_walks: list[np.ndarray],
+    step_nodes: list[np.ndarray],
+) -> list[list[int]]:
+    """Rebuild per-walk paths from the per-step (walk, node) records.
+
+    A stable sort by walk id preserves step order within each walk, so
+    each path is its source followed by the nodes it stepped onto.
+    """
+    paths: list[list[int]] = [[int(s)] for s in sources]
+    if not step_walks:
+        return paths
+    walks = np.concatenate(step_walks)
+    nodes = np.concatenate(step_nodes)
+    order = np.argsort(walks, kind="stable")
+    walks = walks[order]
+    nodes = nodes[order]
+    counts = np.bincount(walks, minlength=len(sources))
+    for walk_id, segment in enumerate(np.split(nodes, np.cumsum(counts)[:-1])):
+        if len(segment):
+            paths[walk_id].extend(int(x) for x in segment)
+    return paths

@@ -6,13 +6,17 @@ criterion with an estimated CDF built from sampled identifiers.  The
 experiment sweeps the per-peer sample budget and shows the hop penalty
 relative to the true-CDF model vanish as the budget grows — while the
 naive (skew-oblivious) construction stays far worse at any budget.
+
+Mercury and Symphony build on the bulk whole-population engines and are
+measured over the shared batch frontier
+(:func:`repro.baselines.measure_overlay_batch`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import MercuryOverlay, SymphonyOverlay, measure_overlay
+from repro.baselines import MercuryOverlay, SymphonyOverlay, measure_overlay_batch
 from repro.core import (
     build_naive_model,
     build_skewed_model,
@@ -46,7 +50,7 @@ def run_e12(seed: int = 0, quick: bool = False) -> ResultTable:
     uniform_model = build_uniform_model(rng=rng, ids=uniform_ids)
     symphony = SymphonyOverlay(uniform_ids, rng, k=len(model.long_links[0]))
     floor = (
-        measure_overlay(symphony, n_routes, rng, target_ids=symphony.ids).mean_hops
+        measure_overlay_batch(symphony, n_routes, rng, target_ids=symphony.ids).mean_hops
         / summarize_lookups(sample_routes(uniform_model, n_routes, rng)).mean_hops
     )
 
@@ -61,7 +65,7 @@ def run_e12(seed: int = 0, quick: bool = False) -> ResultTable:
     budgets = [4, 16, 64] if quick else [4, 8, 16, 32, 64, 128, 256]
     for budget in budgets:
         mercury = MercuryOverlay(ids, rng, sample_size=budget)
-        stats = measure_overlay(mercury, n_routes, rng, target_ids=mercury.ids)
+        stats = measure_overlay_batch(mercury, n_routes, rng, target_ids=mercury.ids)
         table.add_row(
             samples=budget,
             hops=stats.mean_hops,

@@ -26,7 +26,7 @@ from repro.baselines import (
     MercuryOverlay,
     PastryOverlay,
     PGridOverlay,
-    measure_overlay,
+    measure_overlay_batch,
 )
 from repro.core import build_naive_model, build_skewed_model, sample_batch
 from repro.distributions import make_skewed, skew_metric
@@ -76,17 +76,17 @@ def run_e6(
         naive = build_naive_model(dist, rng=rng, ids=ids)
         naive_stats = summarize_lookups(sample_batch(naive, n_routes, rng))
         chord = ChordOverlay(ids)
-        chord_stats = measure_overlay(chord, n_routes, rng, target_ids=chord.ids)
+        chord_stats = measure_overlay_batch(chord, n_routes, rng, target_ids=chord.ids)
         pastry = PastryOverlay(ids, rng)
-        pastry_stats = measure_overlay(pastry, n_routes, rng, target_ids=pastry.ids)
+        pastry_stats = measure_overlay_batch(pastry, n_routes, rng, target_ids=pastry.ids)
         pgrid = PGridOverlay(ids, rng)
-        pgrid_stats = measure_overlay(pgrid, n_routes, rng, target_ids=pgrid.ids)
+        pgrid_stats = measure_overlay_batch(pgrid, n_routes, rng, target_ids=pgrid.ids)
         mercury = MercuryOverlay(ids, rng, sample_size=64)
-        mercury_stats = measure_overlay(
+        mercury_stats = measure_overlay_batch(
             mercury, n_routes, rng, target_ids=mercury.ids
         )
         can = CANOverlay(ids, dims=2)
-        can_stats = measure_overlay(can, max(100, n_routes // 2), rng)
+        can_stats = measure_overlay_batch(can, max(100, n_routes // 2), rng)
         table.add_row(
             strength=strength,
             tv=skew_metric(dist),

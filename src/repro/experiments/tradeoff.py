@@ -9,7 +9,10 @@ With ``k`` long links per peer the expected greedy cost is
 ``Θ(log2^2(N) / k)``: the experiment sweeps ``k`` from 1 (Symphony's
 regime) to ``2·log2 N`` and reports ``hops × k``, which the theory
 predicts to be roughly constant, alongside a real Symphony overlay at
-matching budgets.
+matching budgets.  Symphony routes over the shared batch frontier
+(:func:`repro.baselines.measure_overlay_batch`), so full mode repeats
+the trade-off at ``N = 131072`` (E4b) — the comparator measured at the
+scale the model's bulk builders reach.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import math
 
 import numpy as np
 
-from repro.baselines import SymphonyOverlay, measure_overlay
+from repro.baselines import SymphonyOverlay, measure_overlay_batch
 from repro.core import GraphConfig, build_uniform_model, sample_batch
 from repro.experiments.report import Column, ResultTable
 from repro.overlay import summarize_lookups
@@ -26,17 +29,13 @@ from repro.overlay import summarize_lookups
 __all__ = ["run_e4"]
 
 
-def run_e4(seed: int = 0, quick: bool = False) -> ResultTable:
-    """E4: hops vs outdegree k — the Symphony trade-off."""
-    rng = np.random.default_rng(seed)
-    n = 512 if quick else 4096
-    n_routes = 300 if quick else 1500
-    log2n = int(round(math.log2(n)))
-    ks = sorted(set([1, 2, 3, 4, log2n // 2, log2n, 2 * log2n]))
+def _tradeoff_table(
+    rng: np.random.Generator, n: int, ks: list[int], n_routes: int, title: str
+) -> ResultTable:
+    """One hops-vs-k sweep: model and Symphony at matching budgets."""
     ids = np.sort(rng.random(n))
-
     table = ResultTable(
-        title=f"E4 (Sec. 3.1): search cost vs routing-table size, N={n}",
+        title=title,
         columns=[
             Column("k", "k (long links)"),
             Column("hops", "model hops", ".2f"),
@@ -46,12 +45,10 @@ def run_e4(seed: int = 0, quick: bool = False) -> ResultTable:
         ],
     )
     for k in ks:
-        graph = build_uniform_model(
-            rng=rng, ids=ids, config=GraphConfig(out_degree=k)
-        )
+        graph = build_uniform_model(rng=rng, ids=ids, config=GraphConfig(out_degree=k))
         stats = summarize_lookups(sample_batch(graph, n_routes, rng))
         symphony = SymphonyOverlay(ids, rng, k=k)
-        symph_stats = measure_overlay(
+        symph_stats = measure_overlay_batch(
             symphony, n_routes, rng, target_ids=symphony.ids
         )
         table.add_row(
@@ -61,8 +58,36 @@ def run_e4(seed: int = 0, quick: bool = False) -> ResultTable:
             symphony=symph_stats.mean_hops,
             log2n2_over_k=math.log2(n) ** 2 / k,
         )
+    return table
+
+
+def run_e4(seed: int = 0, quick: bool = False) -> list[ResultTable]:
+    """E4: hops vs outdegree k — the Symphony trade-off."""
+    rng = np.random.default_rng(seed)
+    n = 512 if quick else 4096
+    n_routes = 300 if quick else 1500
+    log2n = int(round(math.log2(n)))
+    ks = sorted(set([1, 2, 3, 4, log2n // 2, log2n, 2 * log2n]))
+    table = _tradeoff_table(
+        rng, n, ks, n_routes,
+        title=f"E4 (Sec. 3.1): search cost vs routing-table size, N={n}",
+    )
     table.add_note(
         "expectation: hops*k roughly constant (cost ~ log2(N)^2 / k), and the "
         "model tracks Symphony at equal budgets; k = log2(N) recovers Theorem 1"
     )
-    return table
+    tables = [table]
+
+    big_n = 1024 if quick else 131072
+    big_log2n = int(round(math.log2(big_n)))
+    big_ks = sorted(set([1, 4, big_log2n, 2 * big_log2n]))
+    big_table = _tradeoff_table(
+        rng, big_n, big_ks, n_routes,
+        title=f"E4b: the same trade-off at comparator scale, N={big_n}",
+    )
+    big_table.add_note(
+        "Symphony built by the bulk link engine and measured over the batch "
+        "frontier kernel — the trade-off claim checked at N >= 1e5"
+    )
+    tables.append(big_table)
+    return tables

@@ -11,6 +11,7 @@ from repro.keyspace.ids import (
     binary_digits,
     bit_string,
     common_prefix_length,
+    digit_rows,
     digits,
     from_digits,
     mix_hash,
@@ -40,6 +41,7 @@ __all__ = [
     "membership_mask",
     "binary_digits",
     "digits",
+    "digit_rows",
     "from_digits",
     "bit_string",
     "common_prefix_length",

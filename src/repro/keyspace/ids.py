@@ -19,9 +19,12 @@ they are trivially hashable and testable.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = [
     "binary_digits",
     "digits",
+    "digit_rows",
     "from_digits",
     "bit_string",
     "common_prefix_length",
@@ -76,6 +79,47 @@ def digits(x: float, base: int, depth: int) -> tuple[int, ...]:
         out.append(digit)
         frac -= digit
     return tuple(out)
+
+
+def digit_rows(keys, base: int, depth: int) -> np.ndarray:
+    """Vectorised :func:`digits` over an array of keys.
+
+    Runs the identical multiply/floor/subtract recurrence elementwise,
+    so row ``i`` is bit-for-bit the tuple ``digits(keys[i], base,
+    depth)`` returns — the whole-population form the bulk overlay
+    builders and the batch routing metrics share.
+
+    Args:
+        keys: values in ``[0, 1)``.
+        base: digit base (>= 2).
+        depth: number of digits per key.
+
+    Raises:
+        ValueError: on out-of-range keys, ``base < 2`` or a depth that
+            exceeds float precision (the same rules as :func:`digits`).
+    """
+    keys = np.asarray(keys, dtype=float)
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    bits_needed = depth * max((base - 1).bit_length(), 1)
+    if bits_needed > MAX_BITS:
+        raise ValueError(
+            f"depth {depth} in base {base} exceeds float precision "
+            f"({bits_needed} > {MAX_BITS} bits)"
+        )
+    if len(keys) and np.any((keys < 0.0) | (keys >= 1.0)):
+        bad = keys[(keys < 0.0) | (keys >= 1.0)][0]
+        raise ValueError(f"identifier {bad!r} outside [0, 1)")
+    out = np.empty((len(keys), depth), dtype=np.int32)
+    frac = keys.copy()
+    for level in range(depth):
+        frac *= base
+        digit = np.minimum(np.floor(frac), base - 1)
+        out[:, level] = digit
+        frac -= digit
+    return out
 
 
 def from_digits(seq: tuple[int, ...] | list[int], base: int = 2) -> float:

@@ -89,6 +89,9 @@ class BulkReport:
         stale_purged: stale link slots cleared off free-listed rows of
             departed peers (repair only).
         rounds: vectorized draw rounds spent.
+        lookup_hops: routed hops charged for resolving link targets —
+            0 under the bulk engine's default ownership resolution;
+            populated by :func:`bulk_repair`'s ``cost_model="routed"``.
     """
 
     peers: int = 0
@@ -96,6 +99,7 @@ class BulkReport:
     dangling_dropped: int = 0
     stale_purged: int = 0
     rounds: int = 0
+    lookup_hops: int = 0
 
 
 def _resolve_links(
@@ -322,6 +326,7 @@ def bulk_repair(
     sample_size: int = 64,
     estimator_factory=None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    cost_model: str = "ownership",
 ) -> BulkReport:
     """Run one vectorized repair/maintenance round over the live population.
 
@@ -340,6 +345,19 @@ def bulk_repair(
     one estimator per epoch rather than per peer, which is also how a
     deployment would amortise gossip.
 
+    **Repair cost conventions.**  The bulk engine resolves link targets
+    by ownership search, which costs no routed hops — the default
+    ``cost_model="ownership"`` therefore reports ``lookup_hops = 0``.
+    ``cost_model="routed"`` prices the round in the scalar maintenance
+    path's convention instead: every *newly installed* link is charged
+    the hops of one batch-routed lookup from its owner over the repaired
+    topology (kept links are free).  Two deliberate approximations keep
+    this a post-hoc price, not a behaviour change: the scalar path also
+    pays hops for draws it later rejects, and it routes over the
+    half-rebuilt network mid-refresh; the routed model prices only the
+    surviving links, after the round.  Experiment tables E9c/E10 record
+    which convention each row uses.
+
     Args:
         network: a live overlay on the array engine.
         rng: random source.
@@ -351,11 +369,13 @@ def bulk_repair(
         sample_size: gossip budget for the shared estimate.
         estimator_factory: callable ``samples -> Distribution`` override.
         max_rounds: vectorized redraw budget.
+        cost_model: ``"ownership"`` (free resolution, the bulk default)
+            or ``"routed"`` (price new links in routed hops).
 
     Raises:
         ValueError: on a scalar-engine network (use
-            :func:`repro.overlay.maintenance.maintenance_round`) or for
-            a fraction outside ``(0, 1]``.
+            :func:`repro.overlay.maintenance.maintenance_round`), for a
+            fraction outside ``(0, 1]``, or an unknown cost model.
     """
     if network.engine != "array":
         raise ValueError(
@@ -364,6 +384,8 @@ def bulk_repair(
         )
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if cost_model not in ("ownership", "routed"):
+        raise ValueError(f"unknown cost model {cost_model!r}")
     report = BulkReport(stale_purged=network._purge_free_slots())
     n = network.n
     if n == 0:
@@ -417,6 +439,17 @@ def bulk_repair(
     new_counts = _write_member_rows(network, slots, accepted, m, live)
     report.links_installed = int(new_counts.sum())
     report.rounds = rounds
+    if cost_model == "routed":
+        new_keys = np.setdiff1d(accepted, seeds) if len(seeds) else accepted
+        if len(new_keys):
+            from repro.core.batch_routing import route_many
+
+            batch = route_many(
+                network.snapshot(),
+                chosen[new_keys // n],
+                live[new_keys % n],
+            )
+            report.lookup_hops = int(batch.hops.sum())
     return report
 
 

@@ -104,6 +104,12 @@ class ChurnConfig:
         maintenance_fraction: fraction of peers refreshed per epoch
             (0 disables maintenance — the decay baseline).
         lookups_per_epoch: lookups measured after each epoch.
+        repair_cost_model: how bulk-engine repairs are priced —
+            ``"ownership"`` (free resolution, ``maintenance_hops`` stays
+            0) or ``"routed"`` (new links charged routed hops, the
+            scalar path's convention; see
+            :func:`repro.overlay.bulk_dynamics.bulk_repair`).  The
+            scalar engine always prices in routed hops.
     """
 
     epochs: int = 10
@@ -111,6 +117,7 @@ class ChurnConfig:
     join_fraction: float = 0.1
     maintenance_fraction: float = 0.2
     lookups_per_epoch: int = 100
+    repair_cost_model: str = "ownership"
 
 
 @dataclass
@@ -146,8 +153,10 @@ def run_churn(
     the epoch's lookups batch-routed over a :meth:`Network.snapshot`
     through :func:`repro.core.route_many` (hop-for-hop identical to
     scalar :meth:`Network.route`).  Link resolution then costs no routed
-    hops, so ``maintenance_hops`` is 0 on this path.  The scalar engine
-    keeps the per-peer reference loop.
+    hops, so ``maintenance_hops`` is 0 on this path under the default
+    ``repair_cost_model="ownership"``; configure ``"routed"`` to price
+    repairs in the scalar convention.  The scalar engine keeps the
+    per-peer reference loop.
 
     Raises:
         ValueError: if the network starts empty.
@@ -222,11 +231,14 @@ def _run_churn_bulk(
         if n_join > 0:
             cohort = sample_cohort_ids(network, distribution, n_join, rng)
             bulk_join(network, cohort, distribution, rng)
+        maintenance_hops = 0
         if config.maintenance_fraction > 0.0 and network.n > 1:
-            bulk_repair(
+            repair = bulk_repair(
                 network, rng, distribution=distribution,
                 fraction=config.maintenance_fraction, refresh=True,
+                cost_model=config.repair_cost_model,
             )
+            maintenance_hops = repair.lookup_hops
         mean_hops = float("nan")
         success_rate = 0.0
         reasons: dict[str, int] = {}
@@ -246,7 +258,7 @@ def _run_churn_bulk(
                 mean_hops=mean_hops,
                 success_rate=success_rate,
                 dangling_links=network.dangling_link_count(),
-                maintenance_hops=0,
+                maintenance_hops=maintenance_hops,
                 failed_reasons=reasons,
             )
         )

@@ -126,6 +126,7 @@ def maintenance_round(
     estimator_factory=None,
     out_degree: int | None = None,
     cutoff: float | None = None,
+    cost_model: str = "ownership",
 ) -> MaintenanceReport:
     """Refresh a random fraction of peers (one simulated gossip epoch).
 
@@ -133,9 +134,12 @@ def maintenance_round(
     :func:`repro.overlay.bulk_dynamics.bulk_repair` (``refresh=True``):
     whole-cohort redraw rounds instead of per-peer loops, link targets
     resolved by ownership search instead of routed lookups (so
-    ``lookup_hops`` is 0), and — when estimating — one shared estimate
-    per round rather than one per peer.  The scalar engine keeps the
-    per-peer reference loop below.
+    ``lookup_hops`` is 0 under the default ``cost_model="ownership"``;
+    pass ``cost_model="routed"`` to price installed links in the scalar
+    path's routed-hop convention — see :func:`bulk_repair`), and — when
+    estimating — one shared estimate per round rather than one per peer.
+    The scalar engine keeps the per-peer reference loop below, which
+    always prices link resolution in routed hops.
 
     Args:
         network: the live overlay.
@@ -144,12 +148,18 @@ def maintenance_round(
         fraction: fraction of peers refreshed this round, in ``(0, 1]``.
         sample_size, estimator_factory, out_degree, cutoff: forwarded to
             :func:`refresh_peer`.
+        cost_model: repair-cost convention on the array engine
+            (``"ownership"`` or ``"routed"``); ignored by the scalar
+            engine, which is inherently routed.
 
     Raises:
-        ValueError: for a fraction outside ``(0, 1]``.
+        ValueError: for a fraction outside ``(0, 1]`` or an unknown
+            cost model.
     """
     if not 0.0 < fraction <= 1.0:
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if cost_model not in ("ownership", "routed"):
+        raise ValueError(f"unknown cost model {cost_model!r}")
     if network.engine == "array":
         from repro.overlay.bulk_dynamics import bulk_repair
 
@@ -163,12 +173,13 @@ def maintenance_round(
             cutoff=cutoff,
             sample_size=sample_size,
             estimator_factory=estimator_factory,
+            cost_model=cost_model,
         )
         return MaintenanceReport(
             peers_refreshed=bulk.peers,
             links_installed=bulk.links_installed,
             dangling_repaired=bulk.dangling_dropped,
-            lookup_hops=0,
+            lookup_hops=bulk.lookup_hops,
         )
     ids = network.ids_array()
     n_refresh = max(1, int(round(fraction * len(ids)))) if len(ids) else 0

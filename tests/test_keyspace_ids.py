@@ -9,6 +9,7 @@ from repro.keyspace import (
     binary_digits,
     bit_string,
     common_prefix_length,
+    digit_rows,
     digits,
     from_digits,
     mix_hash,
@@ -75,6 +76,34 @@ class TestDigits:
         for base in (2, 4, 16):
             for d in digits(x, base=base, depth=8):
                 assert 0 <= d < base
+
+
+class TestDigitRows:
+    """The vectorized digits() twin shared by bulk builders and metrics."""
+
+    @pytest.mark.parametrize("base,depth", [(2, 20), (16, 8), (4, 10)])
+    def test_rows_match_scalar_digits(self, base, depth):
+        keys = np.random.default_rng(5).random(200)
+        rows = digit_rows(keys, base, depth)
+        for key, row in zip(keys, rows):
+            assert tuple(row) == digits(float(key), base, depth)
+
+    def test_rejects_out_of_range_keys(self):
+        with pytest.raises(ValueError):
+            digit_rows(np.asarray([0.5, 1.0]), 2, 4)
+        with pytest.raises(ValueError):
+            digit_rows(np.asarray([-0.1]), 2, 4)
+
+    def test_rejects_bad_base_and_depth(self):
+        with pytest.raises(ValueError):
+            digit_rows(np.asarray([0.5]), 1, 4)
+        with pytest.raises(ValueError):
+            digit_rows(np.asarray([0.5]), 2, -1)
+        with pytest.raises(ValueError):
+            digit_rows(np.asarray([0.5]), 2, 60)  # beyond float precision
+
+    def test_empty_input(self):
+        assert digit_rows(np.empty(0), 2, 4).shape == (0, 4)
 
 
 class TestMixHash:

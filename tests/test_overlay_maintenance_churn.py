@@ -70,6 +70,78 @@ class TestMaintenanceRound:
             maintenance_round(net, rng, fraction=1.5)
 
 
+class TestRepairCostModel:
+    """The bulk repair round's optional routed-hop cost convention."""
+
+    def _damaged_network(self, rng, n=256):
+        from repro.overlay import Network, bulk_leave
+
+        net = Network.from_graph(build_uniform_model(n=n, rng=rng), engine="array")
+        leavers = rng.choice(net.ids_array(), size=n // 8, replace=False)
+        bulk_leave(net, leavers)
+        return net
+
+    def test_ownership_model_reports_zero_hops(self, rng):
+        from repro.overlay import bulk_repair
+
+        net = self._damaged_network(rng)
+        report = bulk_repair(net, rng, distribution=Uniform())
+        assert report.lookup_hops == 0
+        assert report.links_installed > 0
+
+    def test_routed_model_prices_new_links(self, rng):
+        from repro.overlay import bulk_repair
+
+        net = self._damaged_network(rng)
+        report = bulk_repair(net, rng, distribution=Uniform(), cost_model="routed")
+        # Dangling links were replaced, and every replacement cost hops.
+        assert report.dangling_dropped > 0
+        assert report.lookup_hops > 0
+
+    def test_routed_refresh_prices_every_link(self, rng):
+        from repro.overlay import bulk_repair
+
+        net = self._damaged_network(rng)
+        report = bulk_repair(
+            net, rng, distribution=Uniform(), refresh=True, cost_model="routed"
+        )
+        # A full rebuild routes one lookup per installed link; mean hops
+        # per link must be at least 1 short of pathological layouts.
+        assert report.lookup_hops >= report.links_installed * 0.5
+
+    def test_rejects_unknown_cost_model(self, rng):
+        from repro.overlay import bulk_repair
+
+        net = self._damaged_network(rng)
+        with pytest.raises(ValueError):
+            bulk_repair(net, rng, distribution=Uniform(), cost_model="nope")
+        with pytest.raises(ValueError):
+            maintenance_round(net, rng, distribution=Uniform(), cost_model="nope")
+
+    def test_maintenance_round_forwards_cost_model(self, rng):
+        net = self._damaged_network(rng)
+        report = maintenance_round(
+            net, rng, distribution=Uniform(), cost_model="routed"
+        )
+        assert report.lookup_hops > 0
+
+    def test_churn_config_plumbs_repair_cost(self, rng):
+        from repro.overlay import Network
+
+        net = Network.from_graph(build_uniform_model(n=256, rng=rng), engine="array")
+        history = run_churn(
+            net,
+            Uniform(),
+            ChurnConfig(
+                epochs=2, leave_fraction=0.1, join_fraction=0.1,
+                maintenance_fraction=0.5, lookups_per_epoch=50,
+                repair_cost_model="routed",
+            ),
+            rng,
+        )
+        assert all(epoch.maintenance_hops > 0 for epoch in history)
+
+
 class TestChurn:
     def test_network_survives_churn(self, rng):
         dist = PowerLaw(alpha=1.5, shift=1e-3)
