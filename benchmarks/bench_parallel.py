@@ -1,0 +1,163 @@
+"""The sharded execution engine: parity everywhere, speedup where cores exist.
+
+Three layers, all over the same workload — route batches on a
+100k-peer uniform graph, the regime the ROADMAP's "thread-/process-
+parallel sharding of route batches" follow-up names:
+
+* **parity** (always runs, any machine): 2- and 4-worker
+  :func:`repro.parallel.route_many_parallel` must be bit-identical to
+  serial :func:`repro.core.route_many` — hops, owners, reasons, the lot.
+  Speed means nothing before this holds.
+* **smoke gate** (``ci.sh`` runs ``-k smoke``): 2 workers must reach
+  >= 1.2x serial throughput — skipped with an explicit message when the
+  host exposes fewer than 2 usable CPUs (a worker pool cannot beat
+  serial on one core; measured overhead there is ~1.4x, which the parity
+  layer still covers).
+* **full gate**: 4 workers must reach >= 2.5x aggregate route-batch
+  throughput at n >= 1e5 — skipped below 4 usable CPUs.
+
+Every layer appends its measurements to
+``benchmarks/results/BENCH_parallel.json`` (cpu count, worker count,
+routes/sec, speedup, whether the gate ran), so the trajectory records
+what this machine could actually demonstrate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import build_uniform_model, route_many
+from repro.parallel import get_executor, route_many_parallel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY = RESULTS_DIR / "BENCH_parallel.json"
+
+N_PEERS = 100_000
+N_ROUTES = 150_000
+
+SMOKE_WORKERS, SMOKE_GATE = 2, 1.2
+FULL_WORKERS, FULL_GATE = 4, 2.5
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _record_trajectory(entry: dict) -> None:
+    """Append one measurement to the parallel-throughput trajectory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = json.loads(TRAJECTORY.read_text()) if TRAJECTORY.exists() else []
+    history.append(entry)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    graph = build_uniform_model(n=N_PEERS, rng=rng)
+    _ = graph.adjacency  # CSR built once, outside every timed region
+    sources = rng.integers(N_PEERS, size=N_ROUTES)
+    keys = rng.random(N_ROUTES)
+    return graph, sources, keys
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(workload):
+    graph, sources, keys = workload
+    start = time.perf_counter()
+    result = route_many(graph, sources, keys)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def _timed_parallel(workload, workers: int):
+    """Warm the pool, then time one sharded batch (spawn cost excluded)."""
+    graph, sources, keys = workload
+    executor = get_executor(workers).warm()
+    start = time.perf_counter()
+    result = route_many_parallel(graph, sources, keys, executor=executor)
+    seconds = time.perf_counter() - start
+    return result, seconds
+
+
+def _assert_identical(parallel, serial) -> None:
+    assert np.array_equal(parallel.success, serial.success)
+    assert np.array_equal(parallel.hops, serial.hops)
+    assert np.array_equal(parallel.neighbor_hops, serial.neighbor_hops)
+    assert np.array_equal(parallel.long_hops, serial.long_hops)
+    assert np.array_equal(parallel.reason_codes, serial.reason_codes)
+    assert np.array_equal(parallel.owners, serial.owners)
+
+
+def _run_layer(workload, serial_baseline, workers: int, gate: float, kind: str):
+    serial, serial_seconds = serial_baseline
+    parallel, parallel_seconds = _timed_parallel(workload, workers)
+    _assert_identical(parallel, serial)
+
+    cpus = _usable_cpus()
+    speedup = serial_seconds / parallel_seconds
+    gated = cpus >= workers
+    print(
+        f"\nparallel routing, n={N_PEERS}, {N_ROUTES} routes, "
+        f"{cpus} usable cpu(s): serial {N_ROUTES / serial_seconds:,.0f} routes/s, "
+        f"{workers} workers {N_ROUTES / parallel_seconds:,.0f} routes/s, "
+        f"speedup {speedup:.2f}x (gate >= {gate}x "
+        f"{'enforced' if gated else 'skipped: too few cpus'})"
+    )
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": kind,
+            "n": N_PEERS,
+            "routes": N_ROUTES,
+            "cpus": cpus,
+            "workers": workers,
+            "serial_seconds": round(serial_seconds, 4),
+            "parallel_seconds": round(parallel_seconds, 4),
+            "serial_routes_per_sec": round(N_ROUTES / serial_seconds, 1),
+            "parallel_routes_per_sec": round(N_ROUTES / parallel_seconds, 1),
+            "speedup": round(speedup, 3),
+            "gate": gate,
+            "gate_enforced": gated,
+            "identical_to_serial": True,
+        }
+    )
+    if not gated:
+        pytest.skip(
+            f"{workers}-worker speedup gate needs >= {workers} usable CPUs, "
+            f"host has {cpus}; parity was asserted and recorded"
+        )
+    assert speedup >= gate, (
+        f"{workers} workers reached only {speedup:.2f}x (gate {gate}x)"
+    )
+
+
+def test_parallel_parity_all_worker_counts(workload, serial_baseline):
+    """Sharded routing must be bit-identical to serial for 1/2/4 workers."""
+    serial, _ = serial_baseline
+    graph, sources, keys = workload
+    for workers in (1, 2, 4):
+        parallel = route_many_parallel(
+            graph, sources, keys, executor=get_executor(workers)
+        )
+        _assert_identical(parallel, serial)
+
+
+def test_parallel_smoke_2workers(workload, serial_baseline):
+    """ci.sh smoke: 2 workers >= 1.2x serial (skipped below 2 CPUs)."""
+    _run_layer(workload, serial_baseline, SMOKE_WORKERS, SMOKE_GATE, "smoke_2workers")
+
+
+def test_parallel_speedup_4workers(workload, serial_baseline):
+    """The PR gate: >= 2.5x aggregate at 4 workers, n >= 1e5."""
+    assert N_PEERS >= 100_000
+    _run_layer(workload, serial_baseline, FULL_WORKERS, FULL_GATE, "gate_4workers")

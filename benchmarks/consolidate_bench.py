@@ -1,0 +1,97 @@
+"""Consolidate all ``BENCH_*.json`` trajectories into one summary file.
+
+Each gated benchmark appends raw measurement entries to its own
+``benchmarks/results/BENCH_<name>.json`` trajectory.  This script folds
+them into ``benchmarks/results/BENCH_summary.json`` — one document with,
+per benchmark, the entry count, the latest entry of each measurement
+``kind``, and the speedup trend where entries carry one — so a single
+file answers "how fast is every engine right now, and is it regressing?"
+
+Run directly (``python benchmarks/consolidate_bench.py``) or let
+``ci.sh`` do it after the benchmark smokes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY = RESULTS_DIR / "BENCH_summary.json"
+
+
+def _speedup_trend(entries: list[dict]) -> dict | None:
+    """First/latest/best speedup per measurement ``kind``.
+
+    Kinds measure different things (a 2-worker smoke vs a 4-worker gate,
+    a churn ratio vs a sustain run), so pooling them would make the
+    trend compare incommensurable numbers — each kind gets its own row.
+    """
+    by_kind: dict[str, list[float]] = {}
+    for entry in entries:
+        if "speedup" in entry:
+            by_kind.setdefault(entry.get("kind", "default"), []).append(
+                entry["speedup"]
+            )
+    if not by_kind:
+        return None
+    return {
+        kind: {
+            "first": speedups[0],
+            "latest": speedups[-1],
+            "best": max(speedups),
+            "samples": len(speedups),
+        }
+        for kind, speedups in by_kind.items()
+    }
+
+
+def consolidate(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
+    """Build the summary document from every trajectory on disk."""
+    benchmarks: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY.name:
+            continue
+        try:
+            entries = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            benchmarks[path.stem] = {"error": f"unreadable trajectory: {exc}"}
+            continue
+        if not isinstance(entries, list) or not entries:
+            benchmarks[path.stem] = {"entries": 0}
+            continue
+        latest_by_kind = {
+            entry.get("kind", "default"): entry for entry in entries
+        }
+        summary: dict = {
+            "entries": len(entries),
+            "latest_by_kind": latest_by_kind,
+        }
+        trend = _speedup_trend(entries)
+        if trend is not None:
+            summary["speedup_trend"] = trend
+        benchmarks[path.stem] = summary
+    return {
+        "generated_at": time.time(),
+        "trajectories": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def main() -> int:
+    if not RESULTS_DIR.exists():
+        print(f"no results directory at {RESULTS_DIR}; nothing to consolidate")
+        return 0
+    summary = consolidate()
+    SUMMARY.write_text(json.dumps(summary, indent=2) + "\n")
+    names = ", ".join(sorted(summary["benchmarks"])) or "none"
+    print(
+        f"BENCH_summary.json: {summary['trajectories']} trajectories ({names})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

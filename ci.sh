@@ -30,6 +30,12 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
 
   echo "== baseline comparator smoke (scalar vs batch frontier, >=5x aggregate gate) =="
   python -m pytest benchmarks/bench_baselines.py -q -s -k speedup
+
+  echo "== parallel engine smoke (2-worker parity + >=1.2x gate where cores allow) =="
+  python -m pytest benchmarks/bench_parallel.py -q -s -k "parity or smoke"
+
+  echo "== consolidating BENCH_*.json trajectories =="
+  python benchmarks/consolidate_bench.py
 fi
 
 echo "== ci.sh: all green =="

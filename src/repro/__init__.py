@@ -53,6 +53,12 @@ around that fact in three layers:
    experiments draw whole workloads at once and aggregate column-wise;
    the scalar :func:`greedy_route` remains the readable reference
    implementation that property tests pin the batch engine against.
+4. **Sharded multi-core execution** (:mod:`repro.parallel`): route
+   batches split into deterministic shards over a persistent worker
+   pool that attaches the CSR arrays zero-copy through shared memory —
+   ``route_many(..., workers=N)``, ``GraphConfig(workers=N)`` and the
+   CLI's ``--workers`` flag, bit-identical to serial for any worker
+   count.
 """
 
 from repro.core import (

@@ -96,20 +96,34 @@ class CANOverlay(BaselineOverlay):
             zone partition.
         dims: torus dimensionality ``d`` (1 or 2 cover the experiments;
             any ``d >= 1`` with ``d * 16`` bits of precision works).
+        max_bsp_depth: refuse to split a zone deeper than this many
+            levels.  Random arrival points keep the split tree near
+            ``2·log2 N`` deep, but an adversarially clustered population
+            (points packed tighter than ``2^-depth``) would otherwise
+            drive the tree toward float-precision degeneracy — zero-width
+            zones and descent loops that silently walk hundreds of
+            levels per lookup.  The default comfortably covers every
+            realistic population while staying well inside the 52-bit
+            mantissa of the midpoint computation.
 
     Raises:
-        ValueError: for an empty population or invalid ``dims``.
+        ValueError: for an empty population, invalid ``dims`` or a
+            non-positive ``max_bsp_depth``.
+        RuntimeError: when construction would exceed ``max_bsp_depth``.
     """
 
     name = "can"
 
-    def __init__(self, keys, dims: int = 2):
+    def __init__(self, keys, dims: int = 2, max_bsp_depth: int = 96):
         keys = np.asarray(keys, dtype=float)
         if len(keys) == 0:
             raise ValueError("CAN needs at least one peer")
         if dims < 1:
             raise ValueError(f"dims must be >= 1, got {dims}")
+        if max_bsp_depth < 1:
+            raise ValueError(f"max_bsp_depth must be >= 1, got {max_bsp_depth}")
         self.dims = dims
+        self.max_bsp_depth = max_bsp_depth
         self.keys = np.sort(keys)
         self.zones: list[Zone] = []
         self._root: _BSPNode | None = None
@@ -135,12 +149,25 @@ class CANOverlay(BaselineOverlay):
             self._insert(point)
 
     def _insert(self, point: np.ndarray) -> None:
-        """Split the zone containing ``point``; the new half joins the list."""
+        """Split the zone containing ``point``; the new half joins the list.
+
+        Raises:
+            RuntimeError: when the zone to split is already
+                ``max_bsp_depth`` levels deep (adversarially clustered
+                arrival points; see the class docstring).
+        """
         node = self._root
         while node.zone_index < 0:
             node = node.low if point[node.split_dim] < node.split_at else node.high
         zone_idx = node.zone_index
         zone = self.zones[zone_idx]
+        if zone.depth >= self.max_bsp_depth:
+            raise RuntimeError(
+                f"CAN BSP split depth {zone.depth} reached max_bsp_depth="
+                f"{self.max_bsp_depth}: arrival points are clustered tighter "
+                f"than 2^-{self.max_bsp_depth}; spread the key population or "
+                "raise max_bsp_depth"
+            )
         kept, new = zone.split()
         dim = zone.depth % self.dims
         self.zones[zone_idx] = kept
@@ -238,16 +265,30 @@ class CANOverlay(BaselineOverlay):
         return cache
 
     def _zones_of_points(self, points: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`zone_of_point` over a ``(w, d)`` point block."""
+        """Vectorised :meth:`zone_of_point` over a ``(w, d)`` point block.
+
+        The descent is level-synchronous (one numpy step resolves one
+        BSP level for every pending point), so its iteration count is
+        bounded by the tree depth — which construction caps at
+        ``max_bsp_depth``.  A walk exceeding that bound means the tree
+        is corrupt, and raises instead of looping silently.
+
+        Raises:
+            RuntimeError: when the descent exceeds ``max_bsp_depth``.
+        """
         split_dim, split_at, low, high, zone = self._bsp_arrays()
         node = np.zeros(len(points), dtype=np.int64)
-        while True:
+        for _ in range(self.max_bsp_depth + 1):
             pending = np.flatnonzero(zone[node] < 0)
             if pending.size == 0:
                 return zone[node]
             at = node[pending]
             go_high = points[pending, split_dim[at]] >= split_at[at]
             node[pending] = np.where(go_high, high[at], low[at])
+        raise RuntimeError(
+            f"CAN BSP descent exceeded max_bsp_depth={self.max_bsp_depth} "
+            "levels without reaching a leaf; the split tree is corrupt"
+        )
 
     def _build_frontier(self):
         """CSR of face neighbours + the torus-L1 zone-distance metric.
@@ -283,11 +324,21 @@ class CANOverlay(BaselineOverlay):
         return len(self.zones)
 
     def zone_of_point(self, point: np.ndarray) -> int:
-        """Return the index of the zone containing a torus point."""
+        """Return the index of the zone containing a torus point.
+
+        Raises:
+            RuntimeError: when the descent exceeds ``max_bsp_depth``
+                levels (corrupt split tree; construction caps the depth).
+        """
         node = self._root
-        while node.zone_index < 0:
+        for _ in range(self.max_bsp_depth + 1):
+            if node.zone_index >= 0:
+                return node.zone_index
             node = node.low if point[node.split_dim] < node.split_at else node.high
-        return node.zone_index
+        raise RuntimeError(
+            f"CAN BSP descent exceeded max_bsp_depth={self.max_bsp_depth} "
+            "levels without reaching a leaf; the split tree is corrupt"
+        )
 
     def owner_of(self, key: float) -> int:
         """Return the peer (zone) responsible for a 1-d key."""

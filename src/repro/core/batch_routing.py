@@ -116,6 +116,7 @@ def route_many(
     alive: np.ndarray | None = None,
     max_hops: int | None = None,
     record_paths: bool = False,
+    workers: int | None = None,
 ) -> BatchRouteResult:
     """Route every ``(source, target_key)`` pair greedily, in lock-step.
 
@@ -133,11 +134,34 @@ def route_many(
         max_hops: per-route hop budget; defaults to ``n``.
         record_paths: also record every walk's visited-node list (costs
             memory proportional to total hops; off by default).
+        workers: shard the batch over this many worker processes via
+            :mod:`repro.parallel` (bit-identical to the serial result);
+            ``None`` defers to the configured default
+            (:func:`repro.parallel.autotune.resolve_workers` — the CLI's
+            ``--workers`` flag / ``REPRO_WORKERS``), which is serial
+            unless explicitly raised.  Small batches stay serial even
+            with workers configured (dispatch overhead would dominate).
 
     Raises:
         ValueError: on mismatched inputs, an invalid metric, an
             out-of-range or dead source peer, or no live peers.
     """
+    sources = np.asarray(sources, dtype=np.int64)
+    from repro.parallel.autotune import should_parallelize
+
+    if should_parallelize(workers, len(sources)):
+        from repro.parallel.dispatch import route_many_parallel
+
+        return route_many_parallel(
+            graph,
+            sources,
+            target_keys,
+            metric=metric,
+            alive=alive,
+            max_hops=max_hops,
+            record_paths=record_paths,
+            workers=workers,
+        )
     return frontier_route_many(
         graph.adjacency,
         _graph_metric(graph, metric),
@@ -327,6 +351,7 @@ def sample_batch(
     alive: np.ndarray | None = None,
     max_hops: int | None = None,
     record_paths: bool = False,
+    workers: int | None = None,
 ) -> BatchRouteResult:
     """Draw ``n_routes`` random live source/target pairs and batch-route them.
 
@@ -350,6 +375,8 @@ def sample_batch(
         alive: optional liveness mask applied to sources and routing.
         max_hops: per-route hop budget.
         record_paths: record visited-node lists (see :func:`route_many`).
+        workers: worker-process sharding, as in :func:`route_many` (the
+            workload draw itself always happens here, in one rng state).
 
     Raises:
         ValueError: for an unknown ``targets`` mode or no live peers.
@@ -386,4 +413,5 @@ def sample_batch(
         alive=alive,
         max_hops=max_hops,
         record_paths=record_paths,
+        workers=workers,
     )

@@ -78,6 +78,16 @@ class GraphConfig:
         bidirectional: additionally install every long link in the
             reverse direction (an engineering variant several deployed
             DHTs use; off by default to match the directed model).
+        workers: run the ``"bulk"`` sampler sharded over this many worker
+            processes (:func:`repro.parallel.bulk_links_parallel`).
+            ``None`` (the default) keeps the classic single-pass sampler;
+            any explicit count — including 1 — switches to the sharded
+            sampler, whose output is bit-identical across worker counts
+            for a given rng state (but a different, statistically
+            equivalent sample than the single-pass path).  Construction
+            deliberately ignores the global ``--workers`` default:
+            opting in changes which random graph you get, so it must be
+            explicit.
     """
 
     out_degree: int | None = None
@@ -87,6 +97,7 @@ class GraphConfig:
     dedupe: bool = True
     max_retries: int = 64
     bidirectional: bool = False
+    workers: int | None = None
 
     def resolve_out_degree(self, n: int) -> int:
         """Return the concrete long-link budget for an ``n``-peer graph."""
@@ -150,10 +161,19 @@ def build_from_positions(
     cutoff = config.resolve_cutoff(n)
     if config.sampler in ("bulk", "exact-bulk"):
         if config.sampler == "bulk":
-            indptr, flat = bulk_links(
-                normalized_ids, k, cutoff, config.space, rng,
-                dedupe=config.dedupe, max_rounds=config.max_retries,
-            )
+            if config.workers is not None:
+                from repro.parallel.dispatch import bulk_links_parallel
+
+                indptr, flat = bulk_links_parallel(
+                    normalized_ids, k, cutoff, config.space, rng,
+                    dedupe=config.dedupe, max_rounds=config.max_retries,
+                    workers=config.workers,
+                )
+            else:
+                indptr, flat = bulk_links(
+                    normalized_ids, k, cutoff, config.space, rng,
+                    dedupe=config.dedupe, max_rounds=config.max_retries,
+                )
         else:
             indptr, flat = bulk_exact_links(
                 normalized_ids, k, cutoff, config.space, rng, dedupe=config.dedupe

@@ -71,7 +71,7 @@ __all__ = [
 
 
 def _side_log_masses(
-    positions: np.ndarray, cutoff, space: KeySpace
+    positions: np.ndarray, cutoff, space: KeySpace, rows: np.ndarray | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Return ``(left_span, right_span, log_left, log_right)`` arrays.
 
@@ -81,12 +81,24 @@ def _side_log_masses(
     may be a scalar or an array broadcastable to ``positions`` (the live
     overlay's bulk engine draws for peers that joined under different
     ``1/N`` regimes in one pass).
+
+    With ``rows``, the log transform — the expensive part — only runs on
+    those entries; the rest stay 0 (i.e. "no mass", which is exactly how
+    :func:`bulk_links` treats rows outside its shard).  Sharded callers
+    thus pay O(shard) instead of O(n) per block for this pass.
     """
     left, right = space.spans(positions)
     left = np.broadcast_to(np.asarray(left, dtype=float), positions.shape)
     right = np.broadcast_to(np.asarray(right, dtype=float), positions.shape)
-    log_left = np.log(np.maximum(left, cutoff) / cutoff)
-    log_right = np.log(np.maximum(right, cutoff) / cutoff)
+    if rows is None:
+        log_left = np.log(np.maximum(left, cutoff) / cutoff)
+        log_right = np.log(np.maximum(right, cutoff) / cutoff)
+    else:
+        cut = np.broadcast_to(np.asarray(cutoff, dtype=float), positions.shape)
+        log_left = np.zeros(positions.shape)
+        log_right = np.zeros(positions.shape)
+        log_left[rows] = np.log(np.maximum(left[rows], cut[rows]) / cut[rows])
+        log_right[rows] = np.log(np.maximum(right[rows], cut[rows]) / cut[rows])
     return left, right, log_left, log_right
 
 
@@ -232,6 +244,7 @@ def bulk_links(
     rng: np.random.Generator,
     dedupe: bool = True,
     max_rounds: int = 64,
+    rows: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample every peer's long-link set in whole-population passes.
 
@@ -253,6 +266,11 @@ def bulk_links(
             i.i.d. model.
         max_rounds: retry-round budget before the deterministic fallback
             scan (mirrors the scalar sampler's ``max_retries``).
+        rows: optional array of distinct source-row indices to sample
+            links for; every other row stays empty.  Targets still range
+            over the whole population.  This is the sharding hook of
+            :func:`repro.parallel.dispatch.bulk_links_parallel`, which
+            runs one call per contiguous source block.
 
     Returns:
         ``(indptr, flat_targets)``: peer ``i``'s links are
@@ -261,8 +279,8 @@ def bulk_links(
         support them.
 
     Raises:
-        ValueError: for non-positive ``cutoff``, negative ``k`` or
-            unsorted positions.
+        ValueError: for non-positive ``cutoff``, negative ``k``,
+            unsorted positions or out-of-range ``rows``.
     """
     if cutoff <= 0:
         raise ValueError(f"cutoff must be > 0, got {cutoff}")
@@ -276,8 +294,18 @@ def bulk_links(
     if n <= 1 or k == 0:
         return empty
 
-    left, right, log_left, log_right = _side_log_masses(positions, cutoff, space)
+    if rows is not None:
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) and (rows.min() < 0 or rows.max() >= n):
+            raise ValueError(f"row indices out of range for {n} peers")
+    left, right, log_left, log_right = _side_log_masses(
+        positions, cutoff, space, rows=rows
+    )
     has_mass = (log_left + log_right) > 0.0
+    if rows is not None:
+        row_mask = np.zeros(n, dtype=bool)
+        row_mask[rows] = True
+        has_mass = has_mass & row_mask
     all_rows = np.arange(n, dtype=np.int64)
     need = np.where(has_mass, k, 0).astype(np.int64)
     accepted = np.empty(0, dtype=np.int64)  # sorted distinct row*n+col keys
@@ -290,24 +318,24 @@ def bulk_links(
         active = need > 0
         if not active.any():
             break
-        rows = np.repeat(all_rows[active], need[active])
+        draw_rows = np.repeat(all_rows[active], need[active])
         drawn, valid = _draw_targets(
-            positions[rows], left[rows], right[rows],
-            log_left[rows], log_right[rows], cutoff, space, rng,
+            positions[draw_rows], left[draw_rows], right[draw_rows],
+            log_left[draw_rows], log_right[draw_rows], cutoff, space, rng,
         )
         j = nearest_indices(positions, drawn, space)
         ok = (
             valid
-            & (j != rows)
-            & (space.pairwise_distances(positions[j], positions[rows]) >= cutoff)
+            & (j != draw_rows)
+            & (space.pairwise_distances(positions[j], positions[draw_rows]) >= cutoff)
         )
-        accepted = merge_row_pairs(accepted, rows[ok], j[ok], n)
+        accepted = merge_row_pairs(accepted, draw_rows[ok], j[ok], n)
         if dedupe:
             need = np.where(has_mass, k - row_counts(accepted, n), 0)
         else:
             # Every *valid* draw (duplicates included) spends budget; the
             # duplicate targets then collapse, as in the literal model.
-            need = need - np.bincount(rows[ok], minlength=n)
+            need = need - np.bincount(draw_rows[ok], minlength=n)
     if need.any():
         accepted = _fallback_fill(positions, cutoff, space, need, accepted, dedupe)
     return split_rows(accepted, n)

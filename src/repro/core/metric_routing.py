@@ -608,6 +608,7 @@ def frontier_route_many(
     alive: np.ndarray | None = None,
     max_hops: int | None = None,
     record_paths: bool = False,
+    prepared: PreparedTargets | None = None,
 ) -> BatchRouteResult:
     """Route every ``(source, target_key)`` pair over ``csr`` under ``metric``.
 
@@ -628,6 +629,12 @@ def frontier_route_many(
         max_hops: per-route hop budget; defaults to ``n``.
         record_paths: also record every walk's visited-node list (costs
             memory proportional to total hops; off by default).
+        prepared: a :class:`PreparedTargets` for this exact batch, when
+            :meth:`RoutingMetric.prepare` already ran elsewhere.  The
+            sharded execution engine (:mod:`repro.parallel`) prepares
+            once in the parent process — where the metric's key
+            transform / embedding callables live — and ships each worker
+            its slice, so workers never need those callables.
 
     Raises:
         ValueError: on mismatched inputs, an out-of-range or dead source
@@ -654,7 +661,12 @@ def frontier_route_many(
         max_hops = n
 
     n_routes = len(sources)
-    state = metric.prepare(target_keys, alive)
+    state = metric.prepare(target_keys, alive) if prepared is None else prepared
+    if len(np.asarray(state.owners)) != n_routes:
+        raise ValueError(
+            f"prepared targets hold {len(np.asarray(state.owners))} owners "
+            f"for {n_routes} routes"
+        )
     owners = np.asarray(state.owners, dtype=np.int64)
 
     indptr, indices, is_long = csr.indptr, csr.indices, csr.is_long

@@ -5,7 +5,8 @@ Subcommands:
 * ``list`` — show the experiment registry;
 * ``run E1 [E5 ...]`` — run experiments and print their tables
   (``--quick`` for the reduced-size variants, ``--seed`` for
-  reproducibility, ``--csv`` for machine-readable output);
+  reproducibility, ``--csv`` for machine-readable output,
+  ``--workers N`` to shard lookup batches over N worker processes);
 * ``run all`` — run the full suite in registry order.
 """
 
@@ -18,6 +19,13 @@ import time
 from repro.experiments.runner import REGISTRY, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--csv", action="store_true", help="emit CSV instead of ASCII tables"
     )
+    run_p.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard lookup batches over N worker processes "
+            "(repro.parallel; results are bit-identical to serial)"
+        ),
+    )
     return parser
 
 
@@ -62,7 +80,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for exp_id in wanted:
         try:
             start = time.perf_counter()
-            tables = run_experiment(exp_id, seed=args.seed, quick=args.quick)
+            tables = run_experiment(
+                exp_id, seed=args.seed, quick=args.quick, workers=args.workers
+            )
             elapsed = time.perf_counter() - start
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)

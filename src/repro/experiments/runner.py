@@ -62,9 +62,18 @@ REGISTRY: dict[str, Experiment] = {
 
 
 def run_experiment(
-    exp_id: str, seed: int = 0, quick: bool = False
+    exp_id: str, seed: int = 0, quick: bool = False, workers: int | None = None
 ) -> list[ResultTable]:
     """Run one experiment by id and return its result tables.
+
+    Args:
+        exp_id: registry id (``"E1"`` ... ``"E14"``).
+        seed: random seed.
+        quick: reduced-size variant.
+        workers: route lookup batches over this many worker processes
+            for the duration of the experiment (installed as the
+            :mod:`repro.parallel` default, so every ``route_many`` in
+            the sweep picks it up; results are bit-identical to serial).
 
     Raises:
         KeyError: for an unknown experiment id.
@@ -74,5 +83,15 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {exp_id!r}; known: {', '.join(sorted(REGISTRY))}"
         )
-    result = REGISTRY[exp_id].fn(seed=seed, quick=quick)
+    if workers is None:
+        result = REGISTRY[exp_id].fn(seed=seed, quick=quick)
+    else:
+        from repro.parallel.autotune import get_default_workers, set_default_workers
+
+        previous = get_default_workers()
+        set_default_workers(workers)
+        try:
+            result = REGISTRY[exp_id].fn(seed=seed, quick=quick)
+        finally:
+            set_default_workers(previous)
     return result if isinstance(result, list) else [result]

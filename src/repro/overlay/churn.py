@@ -138,6 +138,7 @@ def run_churn(
     distribution: Distribution,
     config: ChurnConfig,
     rng: np.random.Generator,
+    workers: int | None = None,
 ) -> list[ChurnEpoch]:
     """Subject a live network to churn and record per-epoch lookup quality.
 
@@ -158,13 +159,17 @@ def run_churn(
     repairs in the scalar convention.  The scalar engine keeps the
     per-peer reference loop.
 
+    ``workers`` shards the per-epoch lookup phase over worker processes
+    (:mod:`repro.parallel`; array engine only, bit-identical results —
+    the churn/repair cohort passes themselves stay in-process).
+
     Raises:
         ValueError: if the network starts empty.
     """
     if network.n == 0:
         raise ValueError("cannot churn an empty network")
     if network.engine == "array":
-        return _run_churn_bulk(network, distribution, config, rng)
+        return _run_churn_bulk(network, distribution, config, rng, workers=workers)
     history = []
     for epoch in range(config.epochs):
         ids = network.ids_array()
@@ -217,6 +222,7 @@ def _run_churn_bulk(
     distribution: Distribution,
     config: ChurnConfig,
     rng: np.random.Generator,
+    workers: int | None = None,
 ) -> list[ChurnEpoch]:
     """Array-engine epoch loop of :func:`run_churn`: cohorts, not peers."""
     from repro.core.batch_routing import route_many
@@ -246,7 +252,7 @@ def _run_churn_bulk(
             live = network.ids_array()
             sources = rng.integers(len(live), size=config.lookups_per_epoch)
             keys = live[rng.integers(len(live), size=config.lookups_per_epoch)]
-            batch = route_many(network.snapshot(), sources, keys)
+            batch = route_many(network.snapshot(), sources, keys, workers=workers)
             mean_hops = batch.mean_hops
             success_rate = batch.success_rate
             for label in batch.reasons[~batch.success].tolist():

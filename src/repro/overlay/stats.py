@@ -75,6 +75,7 @@ def measure_network(
     n_lookups: int,
     rng: np.random.Generator,
     targets: str = "peers",
+    workers: int | None = None,
 ) -> LookupStats:
     """Run random lookups over a live network and summarise them.
 
@@ -90,6 +91,9 @@ def measure_network(
         rng: random source.
         targets: ``"peers"`` looks up existing peer identifiers;
             ``"uniform"`` looks up fresh uniform keys.
+        workers: shard the batch-routed lookup phase over worker
+            processes (array engine only; bit-identical results — see
+            :func:`repro.core.route_many`).
 
     Raises:
         ValueError: for an unknown target mode or an empty network.
@@ -107,7 +111,9 @@ def measure_network(
             keys = ids[rng.integers(len(ids), size=n_lookups)]
         else:
             keys = rng.random(n_lookups)
-        return summarize_lookups(route_many(network.snapshot(), sources, keys))
+        return summarize_lookups(
+            route_many(network.snapshot(), sources, keys, workers=workers)
+        )
     results: list[LookupResult] = []
     for _ in range(n_lookups):
         source = network.random_peer(rng)

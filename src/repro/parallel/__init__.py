@@ -1,0 +1,71 @@
+"""``repro.parallel`` — sharded multi-core execution over shared-memory CSR.
+
+PRs 1–4 vectorized every hot path; this subsystem spreads those
+vectorized batches across cores.  Four modules:
+
+* :mod:`~repro.parallel.shm` — :class:`SharedArena` publishes CSR
+  adjacency, id vectors and per-edge tag arrays through
+  :mod:`multiprocessing.shared_memory`, so workers attach zero-copy
+  instead of unpickling graphs;
+* :mod:`~repro.parallel.executor` — :class:`ShardedExecutor`, a
+  persistent spawn-safe worker pool with arena lifecycle management and
+  a process-wide shared instance per worker count (:func:`get_executor`);
+* :mod:`~repro.parallel.dispatch` — the sharded front-ends
+  (:func:`route_many_parallel`, :func:`frontier_route_many_parallel`,
+  :func:`measure_overlay_batch_parallel`, :func:`bulk_links_parallel`);
+* :mod:`~repro.parallel.autotune` — chunk-size/worker-count heuristics
+  with env (``REPRO_WORKERS``, ``REPRO_PARALLEL_CHUNK``) and config
+  overrides.
+
+Integration points: ``route_many(..., workers=N)``,
+``GraphConfig(workers=N)``, ``measure_network(..., workers=N)``,
+``run_churn(..., workers=N)`` and the experiment CLI's ``--workers``.
+
+**Determinism contract.**  Shard boundaries and per-shard rng streams
+depend only on the workload (never the worker count), and merges happen
+in shard order — so every front-end returns bit-identical results for
+any worker count including 1.  Routing front-ends are additionally
+bit-identical to their serial counterparts; the construction front-end
+is a different-but-equivalent sample (see
+:func:`~repro.parallel.dispatch.bulk_links_parallel`).
+"""
+
+from importlib import import_module
+
+#: Public name → providing submodule.  Resolution is lazy (PEP 562) so
+#: that serial hot paths importing :mod:`repro.parallel.autotune` (which
+#: ``route_many`` consults on every call) never pay for — or cycle
+#: through — the executor/dispatch machinery.
+_EXPORTS = {
+    "get_default_workers": "autotune",
+    "resolve_workers": "autotune",
+    "set_default_workers": "autotune",
+    "shard_bounds": "autotune",
+    "should_parallelize": "autotune",
+    "bulk_links_parallel": "dispatch",
+    "frontier_route_many_parallel": "dispatch",
+    "measure_overlay_batch_parallel": "dispatch",
+    "route_many_parallel": "dispatch",
+    "ShardedExecutor": "executor",
+    "get_executor": "executor",
+    "shutdown_all": "executor",
+    "ArenaHandle": "shm",
+    "SharedArena": "shm",
+    "attach_arena": "shm",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(f"{__name__}.{module}"), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,487 @@
+"""Sharded front-ends: batch workloads split over the worker pool.
+
+Every front-end follows the same shape:
+
+1. **prepare in the parent** — anything that needs unpicklable state
+   (key transforms, torus embeddings, owner resolution closures) runs
+   once in the owning process via :meth:`RoutingMetric.prepare`;
+2. **publish the operands** — CSR adjacency, coordinate vectors and
+   per-edge tag arrays go into a :class:`~repro.parallel.shm.SharedArena`
+   so workers attach zero-copy instead of unpickling graphs;
+3. **shard deterministically** — contiguous ranges from
+   :func:`repro.parallel.autotune.shard_bounds`, never a function of the
+   worker count;
+4. **merge in shard order** — so results are bit-identical for any
+   worker count including 1.
+
+Routing front-ends (:func:`frontier_route_many_parallel`,
+:func:`route_many_parallel`, :func:`measure_overlay_batch_parallel`) are
+additionally bit-identical to their *serial* counterparts: greedy walks
+are independent per route, so a sharded batch is just the serial batch
+computed in pieces.  The construction front-end
+(:func:`bulk_links_parallel`) shards the long-link sampling rounds by
+source block with per-shard ``SeedSequence``-spawned rng streams — its
+output is a different (statistically equivalent, KS-tested) sample than
+serial :func:`~repro.core.bulk_construction.bulk_links`, but identical
+across worker counts for a given parent rng state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.adjacency import CSRAdjacency
+from repro.core.bulk_construction import bulk_links
+from repro.core.metric_routing import (
+    BatchRouteResult,
+    ClockwiseMetric,
+    GreedyValueMetric,
+    LatticeMetric,
+    PrefixDigitMetric,
+    PreparedTargets,
+    RoutingMetric,
+    TorusZoneMetric,
+    TrieMetric,
+    frontier_route_many,
+)
+from repro.parallel.autotune import shard_bounds
+from repro.parallel.executor import ShardedExecutor, get_executor
+from repro.parallel.shm import ArenaHandle, attach_arena
+
+__all__ = [
+    "frontier_route_many_parallel",
+    "route_many_parallel",
+    "measure_overlay_batch_parallel",
+    "bulk_links_parallel",
+    "arena_arrays",
+]
+
+
+def arena_arrays(arena) -> dict[str, np.ndarray]:
+    """Resolve a published operand set inside a shard function.
+
+    Accepts either an :class:`~repro.parallel.shm.ArenaHandle` (pooled
+    execution — attach via shared memory, cached per process) or the
+    plain dict a serial executor's :meth:`publish` hands back.
+    """
+    if isinstance(arena, ArenaHandle):
+        return attach_arena(arena)
+    return arena
+
+
+# ----------------------------------------------------------------------
+# metric codec: rebuild routing rules worker-side without their closures
+# ----------------------------------------------------------------------
+
+def _encode_metric(
+    metric: RoutingMetric,
+) -> tuple[str, dict, dict[str, np.ndarray]]:
+    """Split a metric into (kind, small picklable params, big arrays).
+
+    Only the scoring state is shipped: ``prepare`` already ran in the
+    parent, so key transforms / embedding callables are deliberately
+    dropped.  Exact-type matching — an unknown subclass may score
+    differently and must not silently degrade to its base class.
+
+    Raises:
+        TypeError: for a metric family the codec does not know.
+    """
+    kind = type(metric)
+    if kind is GreedyValueMetric:
+        return "greedy", {"space": metric.space}, {"m:positions": metric.positions}
+    if kind is ClockwiseMetric:
+        params = {
+            "owner_rule": metric.owner_rule,
+            "terminal_owner_hop": metric.terminal_owner_hop,
+        }
+        return "clockwise", params, {"m:positions": metric.positions}
+    if kind is PrefixDigitMetric:
+        arrays = {
+            "m:positions": metric.positions,
+            "m:digits": metric.digits,
+            "m:tag_level": metric.tag_level,
+            "m:tag_digit": metric.tag_digit,
+        }
+        return "prefix", {"base": metric.base}, arrays
+    if kind is TrieMetric:
+        arrays = {
+            "m:positions": metric.positions,
+            "m:bits": metric.bits,
+            "m:tag_level": metric.tag_level,
+            "m:tag_rank": metric.tag_rank,
+            "m:cell_lefts": metric.cell_lefts,
+            "m:cell_order": metric.cell_order,
+        }
+        return "trie", {}, arrays
+    if kind is TorusZoneMetric:
+        return "torus", {}, {"m:lo": metric.lo, "m:hi": metric.hi}
+    if kind is LatticeMetric:
+        return "lattice", {"n": metric.n}, {}
+    raise TypeError(
+        f"cannot dispatch {kind.__name__} to worker processes; the parallel "
+        "codec supports the six shipped RoutingMetric families"
+    )
+
+
+def _rebuild_metric(kind: str, params: dict, arrays: dict) -> RoutingMetric:
+    """Worker-side inverse of :func:`_encode_metric`.
+
+    The rebuilt metric only ever scores candidates (``prepare`` happened
+    in the parent), so transform/embedding slots are left empty.
+    """
+    if kind == "greedy":
+        return GreedyValueMetric(arrays["m:positions"], params["space"])
+    if kind == "clockwise":
+        return ClockwiseMetric(
+            arrays["m:positions"],
+            owner_rule=params["owner_rule"],
+            terminal_owner_hop=params["terminal_owner_hop"],
+        )
+    if kind == "prefix":
+        return PrefixDigitMetric(
+            arrays["m:positions"],
+            arrays["m:digits"],
+            arrays["m:tag_level"],
+            arrays["m:tag_digit"],
+            params["base"],
+        )
+    if kind == "trie":
+        return TrieMetric(
+            arrays["m:positions"],
+            arrays["m:bits"],
+            arrays["m:tag_level"],
+            arrays["m:tag_rank"],
+            arrays["m:cell_lefts"],
+            arrays["m:cell_order"],
+        )
+    if kind == "torus":
+        return TorusZoneMetric(arrays["m:lo"], arrays["m:hi"], None, None)
+    if kind == "lattice":
+        return LatticeMetric(params["n"])
+    raise ValueError(f"unknown metric kind {kind!r}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+
+def _route_shard(job) -> BatchRouteResult:
+    """Worker body: one shard of routes over the published frontier."""
+    (
+        arena, kind, params, sources, keys,
+        owners, targets, extra, max_hops, record_paths, has_alive,
+    ) = job
+    arrays = arena_arrays(arena)
+    csr = CSRAdjacency(
+        indptr=arrays["csr:indptr"],
+        indices=arrays["csr:indices"],
+        is_long=arrays["csr:is_long"],
+    )
+    metric = _rebuild_metric(kind, params, arrays)
+    prepared = PreparedTargets(owners=owners, targets=targets, extra=extra)
+    alive = arrays["alive"] if has_alive else None
+    return frontier_route_many(
+        csr, metric, sources, keys,
+        alive=alive, max_hops=max_hops, record_paths=record_paths,
+        prepared=prepared,
+    )
+
+
+def _merge_route_results(
+    parts: list[BatchRouteResult],
+    sources: np.ndarray,
+    target_keys: np.ndarray,
+) -> BatchRouteResult:
+    """Concatenate per-shard results back into one batch, in shard order.
+
+    ``target_keys`` is restored from the parent's originals — workers
+    route in transformed coordinates and must not leak them into the
+    result.
+    """
+    paths = None
+    if parts and parts[0].paths is not None:
+        paths = [path for part in parts for path in part.paths]
+    return BatchRouteResult(
+        success=np.concatenate([part.success for part in parts]),
+        hops=np.concatenate([part.hops for part in parts]),
+        neighbor_hops=np.concatenate([part.neighbor_hops for part in parts]),
+        long_hops=np.concatenate([part.long_hops for part in parts]),
+        reason_codes=np.concatenate([part.reason_codes for part in parts]),
+        sources=sources,
+        target_keys=target_keys,
+        owners=np.concatenate([part.owners for part in parts]),
+        paths=paths,
+    )
+
+
+def frontier_route_many_parallel(
+    csr: CSRAdjacency,
+    metric: RoutingMetric,
+    sources: np.ndarray,
+    target_keys: np.ndarray,
+    alive: np.ndarray | None = None,
+    max_hops: int | None = None,
+    record_paths: bool = False,
+    workers: int | None = None,
+    executor: ShardedExecutor | None = None,
+) -> BatchRouteResult:
+    """Sharded :func:`repro.core.metric_routing.frontier_route_many`.
+
+    Bit-identical to the serial kernel for every worker count: routes
+    are independent walks, shards are contiguous slices, and the merge
+    preserves slice order.
+
+    Args:
+        csr: the overlay's flattened edge set.
+        metric: the overlay's routing rule (one of the six shipped
+            families; see :func:`_encode_metric`).
+        sources: int array of originating peers.
+        target_keys: float array of lookup keys, aligned with ``sources``.
+        alive: optional boolean liveness mask.
+        max_hops: per-route hop budget; defaults to ``csr.n``.
+        record_paths: also record every walk's visited-node list.
+        workers: worker count; ``None`` resolves via
+            :func:`repro.parallel.autotune.resolve_workers`.
+        executor: reuse an existing executor instead of the shared one.
+
+    Raises:
+        ValueError: on mismatched inputs or an out-of-range/dead source.
+        TypeError: for an unsupported metric family (pooled path only).
+    """
+    sources = np.ascontiguousarray(np.asarray(sources, dtype=np.int64))
+    target_keys = np.ascontiguousarray(np.asarray(target_keys, dtype=float))
+    ex = executor if executor is not None else get_executor(workers)
+    bounds = shard_bounds(len(sources))
+    if ex.workers <= 1 or len(bounds) <= 1:
+        # Serial executors — and batches too small to split — skip the
+        # arena machinery outright: byte-for-byte the same computation,
+        # minus publish/slice/merge overhead.
+        return frontier_route_many(
+            csr, metric, sources, target_keys,
+            alive=alive, max_hops=max_hops, record_paths=record_paths,
+        )
+    if sources.ndim != 1 or target_keys.ndim != 1:
+        raise ValueError("sources and target_keys must be one-dimensional")
+    if len(sources) != len(target_keys):
+        raise ValueError(
+            f"got {len(sources)} sources but {len(target_keys)} target keys"
+        )
+    if sources.min() < 0 or sources.max() >= csr.n:
+        bad = sources[(sources < 0) | (sources >= csr.n)][0]
+        raise ValueError(f"source index {bad} out of range for {csr.n} peers")
+    if alive is not None:
+        alive = np.asarray(alive, dtype=bool)
+        if not alive[sources].all():
+            bad = sources[~alive[sources]][0]
+            raise ValueError(f"source peer {bad} is not alive")
+
+    state = metric.prepare(target_keys, alive)
+    kind, params, metric_arrays = _encode_metric(metric)
+    owners = np.asarray(state.owners)
+    targets = np.asarray(state.targets)
+    extra = state.extra
+    if extra is not None:
+        extra = np.asarray(extra)
+
+    arrays = {
+        "csr:indptr": csr.indptr,
+        "csr:indices": csr.indices,
+        "csr:is_long": csr.is_long,
+        **metric_arrays,
+    }
+    if alive is not None:
+        arrays["alive"] = alive
+    handle = ex.publish(arrays)
+    try:
+        jobs = [
+            (
+                handle, kind, params, sources[lo:hi], target_keys[lo:hi],
+                owners[lo:hi], targets[lo:hi],
+                None if extra is None else extra[lo:hi],
+                max_hops, record_paths, alive is not None,
+            )
+            for lo, hi in bounds
+        ]
+        parts = ex.map_shards(_route_shard, jobs)
+    finally:
+        ex.release(handle)
+    return _merge_route_results(parts, sources, target_keys)
+
+
+def route_many_parallel(
+    graph,
+    sources: np.ndarray,
+    target_keys: np.ndarray,
+    metric: str = "key",
+    alive: np.ndarray | None = None,
+    max_hops: int | None = None,
+    record_paths: bool = False,
+    workers: int | None = None,
+    executor: ShardedExecutor | None = None,
+) -> BatchRouteResult:
+    """Sharded :func:`repro.core.route_many` over a small-world graph.
+
+    The integrated entry point is ``route_many(..., workers=N)`` (or the
+    ``REPRO_WORKERS`` / CLI ``--workers`` defaults); call this directly
+    to pin an executor or to bypass the batch-size heuristic.
+
+    Args and raises as :func:`repro.core.route_many`.
+    """
+    from repro.core.batch_routing import _graph_metric
+
+    return frontier_route_many_parallel(
+        graph.adjacency,
+        _graph_metric(graph, metric),
+        sources,
+        target_keys,
+        alive=alive,
+        max_hops=max_hops,
+        record_paths=record_paths,
+        workers=workers,
+        executor=executor,
+    )
+
+
+def measure_overlay_batch_parallel(
+    overlay,
+    n_routes: int,
+    rng: np.random.Generator,
+    targets: str = "peers",
+    target_ids: np.ndarray | None = None,
+    workers: int | None = None,
+    executor: ShardedExecutor | None = None,
+):
+    """Sharded :func:`repro.baselines.measure_overlay_batch`.
+
+    Identical workload semantics (same rng draws, same pairs) and — the
+    routes being independent — identical :class:`LookupStats` to the
+    serial batch path, for every worker count.
+
+    Returns:
+        A :class:`repro.overlay.stats.LookupStats`.
+
+    Raises:
+        ValueError: for an unknown target mode.
+    """
+    from repro.baselines.base import sample_overlay_lookups
+    from repro.overlay.stats import summarize_lookups
+
+    sources, keys = sample_overlay_lookups(
+        overlay, n_routes, rng, targets=targets, target_ids=target_ids
+    )
+    csr, metric = overlay._frontier()
+    return summarize_lookups(
+        frontier_route_many_parallel(
+            csr, metric, sources, keys, workers=workers, executor=executor
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+
+def _bulk_block(
+    positions: np.ndarray,
+    k: int,
+    cutoff: float,
+    space,
+    seed: np.random.SeedSequence,
+    dedupe: bool,
+    max_rounds: int,
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one source block's long links; returns (block counts, flat)."""
+    rng = np.random.default_rng(seed)
+    indptr, flat = bulk_links(
+        positions, k, cutoff, space, rng,
+        dedupe=dedupe, max_rounds=max_rounds,
+        rows=np.arange(lo, hi, dtype=np.int64),
+    )
+    return np.diff(indptr)[lo:hi], flat
+
+
+def _bulk_links_shard(job) -> tuple[np.ndarray, np.ndarray]:
+    """Worker body: one source block of the sharded link sampler."""
+    arena, k, cutoff, space, seed, dedupe, max_rounds, lo, hi = job
+    return _bulk_block(
+        arena_arrays(arena)["positions"],
+        k, cutoff, space, seed, dedupe, max_rounds, lo, hi,
+    )
+
+
+def bulk_links_parallel(
+    positions: np.ndarray,
+    k: int,
+    cutoff: float,
+    space,
+    rng: np.random.Generator,
+    dedupe: bool = True,
+    max_rounds: int = 64,
+    workers: int | None = None,
+    executor: ShardedExecutor | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sharded :func:`repro.core.bulk_construction.bulk_links`.
+
+    The population's source rows split into contiguous blocks
+    (:func:`~repro.parallel.autotune.shard_bounds`); each block runs the
+    full retry-round engine against the whole position vector (published
+    once via shared memory) under its own rng stream spawned from a
+    single ``SeedSequence`` rooted in one draw from ``rng``.  Block
+    results merge by concatenation — rows are disjoint and ordered.
+
+    Determinism: for a given parent rng state the output is bit-identical
+    for every worker count (including 1 — serial executors run the same
+    blocks inline).  It is *not* the same sample serial ``bulk_links``
+    draws (different rng layout); the two are statistically equivalent,
+    which the KS suite in ``tests/test_parallel.py`` pins.
+
+    Args, returns and raises as
+    :func:`~repro.core.bulk_construction.bulk_links`, plus ``workers`` /
+    ``executor`` as in :func:`frontier_route_many_parallel`.
+    """
+    if cutoff <= 0:
+        raise ValueError(f"cutoff must be > 0, got {cutoff}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    positions = np.ascontiguousarray(np.asarray(positions, dtype=float))
+    n = len(positions)
+    if np.any(np.diff(positions) < 0):
+        raise ValueError("positions must be sorted")
+    if n <= 1 or k == 0:
+        return np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    bounds = shard_bounds(n)
+    # One entropy draw however many shards/workers run, so the parent rng
+    # advances identically and shard i's stream is spawn-key-stable.
+    root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+    seeds = root.spawn(len(bounds))
+
+    ex = executor if executor is not None else get_executor(workers)
+    if ex.workers <= 1 or len(bounds) <= 1:
+        parts = [
+            _bulk_block(
+                positions, k, cutoff, space, seeds[i], dedupe, max_rounds, lo, hi
+            )
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+    else:
+        handle = ex.publish({"positions": positions})
+        try:
+            jobs = [
+                (handle, k, cutoff, space, seeds[i], dedupe, max_rounds, lo, hi)
+                for i, (lo, hi) in enumerate(bounds)
+            ]
+            parts = ex.map_shards(_bulk_links_shard, jobs)
+        finally:
+            ex.release(handle)
+
+    counts = np.concatenate([part_counts for part_counts, _ in parts])
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    if int(indptr[-1]):
+        flat = np.concatenate([part_flat for _, part_flat in parts])
+    else:
+        flat = np.empty(0, dtype=np.int64)
+    return indptr, flat

@@ -1,0 +1,196 @@
+"""The sharded executor: a persistent, spawn-safe worker-process pool.
+
+:class:`ShardedExecutor` owns the two resources every sharded front-end
+in :mod:`repro.parallel.dispatch` needs:
+
+* a lazily-created :class:`~concurrent.futures.ProcessPoolExecutor` over
+  the ``spawn`` start method (fork is unsafe under threaded numpy/BLAS
+  and unavailable on several platforms; spawn workers re-import cleanly
+  and inherit the parent's ``sys.path`` through the pool initializer);
+* the :class:`~repro.parallel.shm.SharedArena` instances published for
+  in-flight dispatch calls.
+
+Determinism contract: :meth:`ShardedExecutor.map_shards` returns results
+in shard order no matter which worker computed what, and a
+``workers == 1`` executor runs the *same shard functions on the same
+shard boundaries* inline (no subprocess, no shared memory) — so any
+dispatch built on it is bit-identical across worker counts by
+construction.
+
+Most callers go through :func:`get_executor`, which keeps one persistent
+executor per worker count for the whole process (spawning workers costs
+~1 s each; a pool is only worth keeping warm).  Explicitly constructed
+executors remain independent and context-managed.
+"""
+
+from __future__ import annotations
+
+import atexit
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+
+import numpy as np
+
+from repro.parallel.autotune import resolve_workers
+from repro.parallel.shm import ArenaHandle, SharedArena
+
+__all__ = ["ShardedExecutor", "get_executor", "shutdown_all"]
+
+
+def _init_worker(parent_sys_path: list[str]) -> None:
+    """Spawn initializer: make the parent's import roots visible.
+
+    Spawned interpreters start from a clean ``sys.path`` that may lack
+    the ``src/`` layout root the parent runs from (tests and ``ci.sh``
+    inject it via ``PYTHONPATH``, but programmatic parents may not).
+    """
+    for path in reversed(parent_sys_path):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+class ShardedExecutor:
+    """A persistent pool executing shard functions over published arenas.
+
+    Args:
+        workers: worker-process count; ``None`` resolves through
+            :func:`repro.parallel.autotune.resolve_workers`.  A count of
+            1 executes inline in the calling process.
+
+    Raises:
+        ValueError: for a worker count below 1.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = resolve_workers(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._arenas: dict[str, SharedArena] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._pool is not None and getattr(self._pool, "_broken", False):
+            # A worker died (OOM kill, crash): the stdlib pool is
+            # permanently broken, but a fresh spawn will succeed —
+            # rebuild instead of failing every future dispatch.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context("spawn"),
+                initializer=_init_worker,
+                initargs=(list(sys.path),),
+            )
+        return self._pool
+
+    def map_shards(self, fn, payloads) -> list:
+        """Run ``fn`` over every payload, returning results in order.
+
+        Inline (this process) when the executor is serial or there is
+        only one payload; otherwise on the worker pool.  ``fn`` and the
+        payloads must be picklable module-level objects on the pooled
+        path — the dispatch module's shard functions are.
+        """
+        payloads = list(payloads)
+        if self.workers <= 1 or len(payloads) <= 1:
+            return [fn(payload) for payload in payloads]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, payloads))
+
+    def warm(self) -> "ShardedExecutor":
+        """Spawn the worker processes now (e.g. before a timed region)."""
+        if self.workers > 1:
+            pool = self._ensure_pool()
+            list(pool.map(_noop, range(self.workers)))
+        return self
+
+    # ------------------------------------------------------------------
+    # arenas
+    # ------------------------------------------------------------------
+    def publish(self, arrays: dict[str, np.ndarray]):
+        """Make ``arrays`` reachable from shard functions.
+
+        Serial executors skip shared memory entirely and hand back the
+        arrays as a plain dict (the shard functions accept both forms via
+        :func:`repro.parallel.dispatch.arena_arrays`); pooled executors
+        return the arena's picklable handle and keep the arena alive
+        until :meth:`release` or :meth:`close`.
+        """
+        if self.workers <= 1:
+            return {key: np.asarray(value) for key, value in arrays.items()}
+        arena = SharedArena(arrays)
+        self._arenas[arena.handle.token] = arena
+        return arena.handle
+
+    def release(self, handle) -> None:
+        """Unlink a published arena (no-op for serial dict handles)."""
+        if isinstance(handle, ArenaHandle):
+            arena = self._arenas.pop(handle.token, None)
+            if arena is not None:
+                arena.close()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every still-published arena."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for arena in self._arenas.values():
+            arena.close()
+        self._arenas.clear()
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "warm" if self._pool is not None else "cold"
+        )
+        return f"ShardedExecutor(workers={self.workers}, {state})"
+
+
+def _noop(_payload) -> None:
+    """Pool-warming task (must be module-level for pickling)."""
+    return None
+
+
+_SHARED: dict[int, ShardedExecutor] = {}
+
+
+def get_executor(workers: int | None = None) -> ShardedExecutor:
+    """Return the process-wide persistent executor for a worker count.
+
+    One executor (and thus one warmed pool) is kept per distinct count;
+    repeated dispatch calls reuse it instead of re-spawning workers.
+    These shared executors are shut down atexit — do not :meth:`close`
+    them from caller code; build your own :class:`ShardedExecutor` when
+    you need an isolated lifecycle.
+    """
+    count = resolve_workers(workers)
+    executor = _SHARED.get(count)
+    if executor is None or executor._closed:
+        executor = ShardedExecutor(count)
+        _SHARED[count] = executor
+    return executor
+
+
+def shutdown_all() -> None:
+    """Close every shared executor (normally only called atexit)."""
+    for executor in list(_SHARED.values()):
+        executor.close()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_all)

@@ -1,0 +1,215 @@
+"""Shared-memory arenas: zero-copy numpy array publication to workers.
+
+The sharded execution engine moves *compute* to worker processes but the
+big read-only operands — CSR adjacency arrays, sorted id vectors,
+per-edge tag arrays — must not be pickled into every job.  A
+:class:`SharedArena` copies each array once into a
+:mod:`multiprocessing.shared_memory` segment; workers receive only the
+tiny picklable :class:`ArenaHandle` (segment names + shapes + dtypes) and
+map the segments read-only-by-convention via :func:`attach_arena`.
+
+Lifecycle contract:
+
+* the **owner** process (the one that built the arena) keeps the
+  segments alive until every shard of the dispatch call has returned,
+  then calls :meth:`SharedArena.close` (create + unlink are paired in
+  the owner — workers never unlink);
+* **workers** cache attachments per arena token (an arena is immutable),
+  evicting least-recently-used arenas beyond a small cap so long-lived
+  pools do not accumulate mappings.
+
+CPython < 3.13 registers *every* ``SharedMemory`` attach with the
+``resource_tracker``, which would make worker processes fight the owner
+over unlinking; :func:`attach_arena` suppresses that registration, so
+cleanup stays solely the owner's job.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ArraySpec", "ArenaHandle", "SharedArena", "attach_arena", "detach_all"]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Recipe to map one published array: segment name + shape + dtype."""
+
+    key: str
+    segment: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """The picklable description of a :class:`SharedArena`.
+
+    Attributes:
+        token: unique arena id — the worker-side attachment-cache key.
+        specs: one :class:`ArraySpec` per published array.
+    """
+
+    token: str
+    specs: tuple[ArraySpec, ...]
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        """Logical names of the published arrays."""
+        return tuple(spec.key for spec in self.specs)
+
+
+class SharedArena:
+    """Owner-side arena: one shared-memory segment per published array.
+
+    Args:
+        arrays: mapping of logical name → array to publish.  Each array
+            is copied once (C-contiguous) into its segment.
+
+    Raises:
+        OSError: when the platform refuses a segment (e.g. ``/dev/shm``
+            exhausted); any segments created so far are cleaned up.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self._segments: list[shared_memory.SharedMemory] = []
+        specs: list[ArraySpec] = []
+        try:
+            for key, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+                view[...] = array
+                self._segments.append(seg)
+                specs.append(
+                    ArraySpec(
+                        key=key,
+                        segment=seg.name,
+                        shape=tuple(array.shape),
+                        dtype=str(array.dtype),
+                    )
+                )
+        except BaseException:
+            self.close()
+            raise
+        self.handle = ArenaHandle(token=secrets.token_hex(8), specs=tuple(specs))
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).  Owner-only."""
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close race
+                pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArena(token={self.handle.token!r}, "
+            f"arrays={list(self.handle.keys)!r})"
+        )
+
+
+#: Attached arenas of *this* process: token → (segments, arrays).
+_ATTACHED: "OrderedDict[str, tuple[list, dict[str, np.ndarray]]]" = OrderedDict()
+
+#: Keep at most this many arenas mapped per worker process.  Tokens are
+#: per-dispatch-call, so only the current call's arena is ever live; one
+#: spare slot covers call overlap without pinning a queue of unlinked
+#: multi-hundred-MB CSR copies in each worker.
+_ATTACH_CACHE_LIMIT = 2
+
+
+#: Serialises the pre-3.13 register patch below: without it, two threads
+#: attaching concurrently could each save the other's no-op as the
+#: "original" and leave the tracker permanently disabled.
+_REGISTER_PATCH_LOCK = threading.Lock()
+
+
+def _open_untracked(segment: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    Pre-3.13 ``SharedMemory(name=...)`` registers the segment as if this
+    process owned it, so worker exit would unlink arenas still in use
+    (and spam ``KeyError`` from double unregisters).  On 3.13+ the stdlib
+    grew ``track=False`` for exactly this; earlier interpreters get the
+    registration suppressed under a lock for the duration of the attach.
+    Either way, ownership stays where it belongs: the arena's creator.
+    """
+    try:
+        return shared_memory.SharedMemory(name=segment, track=False)
+    except TypeError:  # pre-3.13: no track parameter
+        pass
+    with _REGISTER_PATCH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=segment)
+        finally:
+            resource_tracker.register = original
+
+
+def attach_arena(handle: ArenaHandle) -> dict[str, np.ndarray]:
+    """Map a published arena; cached per process by arena token.
+
+    Returns a mapping of logical name → array view backed by shared
+    memory.  Treat the views as read-only — they are shared with the
+    owner and every sibling worker.
+    """
+    cached = _ATTACHED.get(handle.token)
+    if cached is not None:
+        _ATTACHED.move_to_end(handle.token)
+        return cached[1]
+    segments: list[shared_memory.SharedMemory] = []
+    arrays: dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        seg = _open_untracked(spec.segment)
+        segments.append(seg)
+        arrays[spec.key] = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf
+        )
+    _ATTACHED[handle.token] = (segments, arrays)
+    while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
+        _evict_oldest()
+    return arrays
+
+
+def _evict_oldest() -> None:
+    """Unmap the least-recently-used cached arena.
+
+    The cached array views must be dropped *before* closing their
+    segments — an ndarray view keeps an export on the segment buffer and
+    would turn every close into a BufferError.  A caller still holding a
+    view keeps the mapping alive via the segment's own refcount (the
+    close is then deferred to garbage collection), which is the safe
+    outcome.
+    """
+    old_segments, old_arrays = _ATTACHED.popitem(last=False)[1]
+    old_arrays.clear()
+    del old_arrays
+    for seg in old_segments:
+        try:
+            seg.close()
+        except BufferError:  # view escaped the cache; GC will unmap
+            pass
+
+
+def detach_all() -> None:
+    """Drop every cached attachment of this process (views become invalid)."""
+    while _ATTACHED:
+        _evict_oldest()

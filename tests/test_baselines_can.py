@@ -107,3 +107,33 @@ class TestRouting:
         large = CANOverlay(rng.random(512), dims=2).mean_table_size()
         assert large < small * 2
         assert large < 10
+
+
+class TestBSPDepthCap:
+    """Adversarially clustered arrivals must fail loudly, not walk silently."""
+
+    def test_adversarially_deep_split_tree_raises(self):
+        # Arrival points packed 1e-40 apart: separating them needs ~130
+        # split levels, far beyond the default cap of 96 — construction
+        # must refuse with a clear diagnostic instead of degenerating
+        # into zero-width zones.
+        keys = np.arange(110.0) * 1e-40
+        with pytest.raises(RuntimeError, match="max_bsp_depth"):
+            CANOverlay(keys, dims=1)
+
+    def test_cap_is_configurable(self):
+        keys = np.asarray([0.0, 0.5, 0.25, 0.125])
+        with pytest.raises(RuntimeError, match="max_bsp_depth"):
+            CANOverlay(keys, dims=1, max_bsp_depth=1)
+        # the same population builds fine with room to split
+        assert CANOverlay(keys, dims=1, max_bsp_depth=8).n == 4
+        with pytest.raises(ValueError):
+            CANOverlay(keys, dims=1, max_bsp_depth=0)
+
+    def test_normal_populations_stay_far_below_cap(self, rng):
+        can = CANOverlay(rng.random(2048), dims=2)
+        deepest = max(zone.depth for zone in can.zones)
+        assert deepest < 40  # ~2·log2(n); nowhere near the 96 cap
+        # and the vectorised owner descent still resolves everything
+        owners = can._zones_of_points(can._points_of(rng.random(256)))
+        assert owners.min() >= 0 and owners.max() < can.n

@@ -142,3 +142,77 @@ class TestWattsStrogatz:
             WattsStrogatzOverlay(10, k=3, p=0.1, rng=rng)  # odd k
         with pytest.raises(ValueError):
             WattsStrogatzOverlay(10, k=2, p=1.5, rng=rng)
+        with pytest.raises(ValueError):
+            WattsStrogatzOverlay(10, k=2, p=0.1, rng=rng, builder="turbo")
+
+
+class TestWattsStrogatzBulkBuilder:
+    """The vectorized rewiring engine vs the scalar reference loop.
+
+    Equivalence is pinned on *structural* distributions (degrees,
+    shortcut ring-distances).  Hop distributions are deliberately not
+    KS-tested here: greedy routing over non-navigable uniform shortcuts
+    is chaotic enough that two instances of the *same* builder fail a
+    hop-level KS at n=2048 — the probe, not the builder, is unstable.
+    """
+
+    def test_unrewired_builders_identical(self):
+        bulk = WattsStrogatzOverlay(200, k=6, p=0.0, rng=np.random.default_rng(0))
+        scalar = WattsStrogatzOverlay(
+            200, k=6, p=0.0, rng=np.random.default_rng(1), builder="scalar"
+        )
+        assert all(
+            np.array_equal(a, b) for a, b in zip(bulk.adjacency, scalar.adjacency)
+        )
+
+    def test_adjacency_invariants(self):
+        ws = WattsStrogatzOverlay(512, k=4, p=0.3, rng=np.random.default_rng(2))
+        for u, row in enumerate(ws.adjacency):
+            assert np.all(np.diff(row) > 0)  # sorted, distinct
+            assert u not in row  # no self loops
+            for v in row:  # undirected symmetry
+                assert u in ws.adjacency[int(v)]
+
+    @staticmethod
+    def _shortcut_distances(overlay, n):
+        """Ring distances of the rewired (non-lattice) undirected edges."""
+        out = []
+        for u, row in enumerate(overlay.adjacency):
+            for v in row[row > u]:  # one direction per undirected pair
+                gap = (int(v) - u) % n
+                d = min(gap, n - gap)
+                if d > overlay.k // 2:
+                    out.append(d)
+        return np.asarray(out, dtype=float)
+
+    @pytest.mark.parametrize("seed", [71, 72])
+    def test_ks_structural_equivalence(self, seed):
+        from repro.analysis.stats_tests import ks_two_sample
+
+        n = 2048
+        bulk = WattsStrogatzOverlay(n, k=4, p=0.2, rng=np.random.default_rng(seed))
+        scalar = WattsStrogatzOverlay(
+            n, k=4, p=0.2, rng=np.random.default_rng(seed + 10),
+            builder="scalar",
+        )
+        dks = ks_two_sample(bulk.table_sizes(), scalar.table_sizes())
+        assert dks.p_value > 0.01, (dks.statistic, dks.p_value)
+        sks = ks_two_sample(
+            self._shortcut_distances(bulk, n), self._shortcut_distances(scalar, n)
+        )
+        assert sks.p_value > 0.01, (sks.statistic, sks.p_value)
+        # Same rewiring volume (binomial n·k/2 draws at p): within 4 sigma.
+        expected = n * 2 * 0.2
+        sigma = (n * 2 * 0.2 * 0.8) ** 0.5
+        for overlay in (bulk, scalar):
+            count = len(self._shortcut_distances(overlay, n))
+            assert abs(count - expected) < 4 * sigma, count
+
+    def test_full_rewire_keeps_edge_budget(self):
+        # Every edge rewires; the undirected edge count stays n·k/2 (a
+        # clash only re-draws, never drops an edge).
+        n, k = 256, 4
+        ws = WattsStrogatzOverlay(n, k=k, p=1.0, rng=np.random.default_rng(3))
+        assert sum(len(row) for row in ws.adjacency) == n * k
+        mean_clustering = ws.clustering_coefficient()
+        assert mean_clustering < 0.1  # fully random graph territory
