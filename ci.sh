@@ -34,6 +34,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
   echo "== parallel engine smoke (2-worker parity + >=1.2x gate where cores allow) =="
   python -m pytest benchmarks/bench_parallel.py -q -s -k "parity or smoke"
 
+  echo "== persistent store smoke (round-trip parity + >=100x load gate + arena-cache gate) =="
+  python -m pytest benchmarks/bench_store.py -q -s
+
   echo "== consolidating BENCH_*.json trajectories =="
   python benchmarks/consolidate_bench.py
 fi

@@ -26,9 +26,13 @@ import numpy as np
 
 from repro.baselines.base import BaselineOverlay, assemble_rows
 from repro.core.adjacency import CSRAdjacency
-from repro.core.metric_routing import TorusZoneMetric
+from repro.core.metric_routing import (
+    TorusZoneMetric,
+    torus_points,
+    torus_zone_lookup,
+)
 from repro.core.routing import RouteResult
-from repro.keyspace import digit_rows, morton_spread
+from repro.keyspace import morton_spread
 
 __all__ = ["Zone", "CANOverlay"]
 
@@ -105,16 +109,29 @@ class CANOverlay(BaselineOverlay):
             levels per lookup.  The default comfortably covers every
             realistic population while staying well inside the 52-bit
             mantissa of the midpoint computation.
+        builder: ``"bulk"`` (default) builds the whole split tree in
+            level-synchronous batch BSP rounds — one numpy step splits
+            every populated leaf per round — producing *exactly* the
+            zones, tree and neighbours of the sequential insertion loop
+            (see :meth:`_build_bulk` for why the orders coincide);
+            ``"scalar"`` keeps the literal one-insert-at-a-time
+            reference loop.
 
     Raises:
-        ValueError: for an empty population, invalid ``dims`` or a
-            non-positive ``max_bsp_depth``.
+        ValueError: for an empty population, invalid ``dims``, a
+            non-positive ``max_bsp_depth`` or an unknown ``builder``.
         RuntimeError: when construction would exceed ``max_bsp_depth``.
     """
 
     name = "can"
 
-    def __init__(self, keys, dims: int = 2, max_bsp_depth: int = 96):
+    def __init__(
+        self,
+        keys,
+        dims: int = 2,
+        max_bsp_depth: int = 96,
+        builder: str = "bulk",
+    ):
         keys = np.asarray(keys, dtype=float)
         if len(keys) == 0:
             raise ValueError("CAN needs at least one peer")
@@ -122,12 +139,18 @@ class CANOverlay(BaselineOverlay):
             raise ValueError(f"dims must be >= 1, got {dims}")
         if max_bsp_depth < 1:
             raise ValueError(f"max_bsp_depth must be >= 1, got {max_bsp_depth}")
+        if builder not in ("bulk", "scalar"):
+            raise ValueError(f"unknown builder {builder!r}")
         self.dims = dims
         self.max_bsp_depth = max_bsp_depth
+        self.builder = builder
         self.keys = np.sort(keys)
         self.zones: list[Zone] = []
         self._root: _BSPNode | None = None
-        self._build()
+        if builder == "bulk":
+            self._build_bulk()
+        else:
+            self._build()
         self._compute_neighbors()
 
     # ------------------------------------------------------------------
@@ -185,6 +208,113 @@ class CANOverlay(BaselineOverlay):
         node.low = low_leaf
         node.high = high_leaf
 
+    def _build_bulk(self) -> None:
+        """Whole-population batch BSP construction (the default builder).
+
+        Reproduces the sequential insertion loop *exactly*, not just
+        statistically, because CAN's split rule makes insertions in
+        disjoint subtrees independent:
+
+        * at any moment, the peer that splits a leaf is the
+          earliest-inserted peer whose arrival point lies in it (any
+          earlier arrival would already have split it);
+        * the zone created by inserting peer ``i`` always gets index
+          ``i`` (the zone list grows by exactly one per insertion);
+        * every other pending arrival just descends by coordinate.
+
+        So one round per tree level suffices: lexsort the pending
+        arrivals by ``(leaf, insertion order)``, let the first arrival
+        in each leaf perform that leaf's split, and descend the rest one
+        level.  All of it is numpy over flat arrays — the Python-object
+        node tree is never materialised (``self._root`` stays ``None``
+        and the flat BSP cache is born populated).
+
+        Raises:
+            RuntimeError: when a split would exceed ``max_bsp_depth``
+                (same condition and diagnostic as the scalar loop).
+        """
+        n = len(self.keys)
+        dims = self.dims
+        points = self._points_of(self.keys)
+        zone_lo = np.empty((n, dims))
+        zone_hi = np.empty((n, dims))
+        zone_depth = np.zeros(n, dtype=np.int64)
+        zone_lo[0] = 0.0
+        zone_hi[0] = 1.0
+        n_nodes = 2 * n - 1
+        node_split_dim = np.full(n_nodes, -1, dtype=np.int64)
+        node_split_at = np.zeros(n_nodes, dtype=float)
+        node_low = np.full(n_nodes, -1, dtype=np.int64)
+        node_high = np.full(n_nodes, -1, dtype=np.int64)
+        node_zone = np.full(n_nodes, -1, dtype=np.int64)
+        node_zone[0] = 0
+        nodes_used = 1
+        pend_idx = np.arange(1, n, dtype=np.int64)
+        pend_node = np.zeros(n - 1, dtype=np.int64)
+        # Every pending arrival's leaf deepens by one per round, so the
+        # depth guard below trips before this bound can be exhausted.
+        for _ in range(self.max_bsp_depth + 2):
+            if pend_idx.size == 0:
+                break
+            order = np.lexsort((pend_idx, pend_node))
+            sorted_nodes = pend_node[order]
+            lead = np.ones(len(order), dtype=bool)
+            lead[1:] = sorted_nodes[1:] != sorted_nodes[:-1]
+            splitters = pend_idx[order[lead]]
+            leaves = sorted_nodes[lead]
+            kept = node_zone[leaves]
+            depth = zone_depth[kept]
+            if np.any(depth >= self.max_bsp_depth):
+                worst = int(depth.max())
+                raise RuntimeError(
+                    f"CAN BSP split depth {worst} reached max_bsp_depth="
+                    f"{self.max_bsp_depth}: arrival points are clustered "
+                    f"tighter than 2^-{self.max_bsp_depth}; spread the key "
+                    "population or raise max_bsp_depth"
+                )
+            dim = depth % dims
+            mid = 0.5 * (zone_lo[kept, dim] + zone_hi[kept, dim])
+            zone_lo[splitters] = zone_lo[kept]
+            zone_hi[splitters] = zone_hi[kept]
+            zone_lo[splitters, dim] = mid
+            zone_hi[kept, dim] = mid
+            zone_depth[splitters] = depth + 1
+            zone_depth[kept] = depth + 1
+            low_children = nodes_used + 2 * np.arange(
+                len(splitters), dtype=np.int64
+            )
+            high_children = low_children + 1
+            nodes_used += 2 * len(splitters)
+            node_split_dim[leaves] = dim
+            node_split_at[leaves] = mid
+            node_low[leaves] = low_children
+            node_high[leaves] = high_children
+            node_zone[low_children] = kept
+            node_zone[high_children] = splitters
+            node_zone[leaves] = -1
+            rest = order[~lead]
+            at = pend_node[rest]
+            go_high = (
+                points[pend_idx[rest], node_split_dim[at]] >= node_split_at[at]
+            )
+            pend_node = np.where(go_high, node_high[at], node_low[at])
+            pend_idx = pend_idx[rest]
+        else:  # pragma: no cover - unreachable behind the depth guard
+            raise RuntimeError(
+                "CAN batch BSP construction failed to converge within "
+                f"max_bsp_depth={self.max_bsp_depth} rounds"
+            )
+        self.zones = [
+            Zone(zone_lo[i], zone_hi[i], int(zone_depth[i])) for i in range(n)
+        ]
+        self._bsp_cache = (
+            node_split_dim[:nodes_used],
+            node_split_at[:nodes_used],
+            node_low[:nodes_used],
+            node_high[:nodes_used],
+            node_zone[:nodes_used],
+        )
+
     def _compute_neighbors(self) -> None:
         """Vectorised face-adjacency over all zone pairs (torus wrap included)."""
         z = len(self.zones)
@@ -216,18 +346,11 @@ class CANOverlay(BaselineOverlay):
     def _points_of(self, keys: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`_point_of`: keys → ``(w, d)`` torus points.
 
-        Reproduces :func:`repro.keyspace.morton_spread` bit-for-bit (the
-        coordinates are sums of disjoint dyadic terms, exact in float).
+        Delegates to :func:`repro.core.metric_routing.torus_points`
+        (identity embedding at ``dims == 1``, Morton spread otherwise —
+        bit-for-bit :func:`repro.keyspace.morton_spread`).
         """
-        keys = np.asarray(keys, dtype=float)
-        if self.dims == 1:
-            return keys[:, None]
-        bits = digit_rows(keys, 2, self.dims * 16)  # validates [0, 1) range
-        points = np.empty((len(keys), self.dims))
-        weights = 2.0 ** -(np.arange(1, 17, dtype=float))
-        for d in range(self.dims):
-            points[:, d] = bits[:, d :: self.dims] @ weights
-        return points
+        return torus_points(keys, self.dims)
 
     def _bsp_arrays(self):
         """Flatten the zone BSP tree into arrays for vectorised descent."""
@@ -267,28 +390,13 @@ class CANOverlay(BaselineOverlay):
     def _zones_of_points(self, points: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`zone_of_point` over a ``(w, d)`` point block.
 
-        The descent is level-synchronous (one numpy step resolves one
-        BSP level for every pending point), so its iteration count is
-        bounded by the tree depth — which construction caps at
-        ``max_bsp_depth``.  A walk exceeding that bound means the tree
-        is corrupt, and raises instead of looping silently.
+        Delegates to :func:`repro.core.metric_routing.torus_zone_lookup`
+        over the flat BSP arrays, bounded by ``max_bsp_depth``.
 
         Raises:
             RuntimeError: when the descent exceeds ``max_bsp_depth``.
         """
-        split_dim, split_at, low, high, zone = self._bsp_arrays()
-        node = np.zeros(len(points), dtype=np.int64)
-        for _ in range(self.max_bsp_depth + 1):
-            pending = np.flatnonzero(zone[node] < 0)
-            if pending.size == 0:
-                return zone[node]
-            at = node[pending]
-            go_high = points[pending, split_dim[at]] >= split_at[at]
-            node[pending] = np.where(go_high, high[at], low[at])
-        raise RuntimeError(
-            f"CAN BSP descent exceeded max_bsp_depth={self.max_bsp_depth} "
-            "levels without reaching a leaf; the split tree is corrupt"
-        )
+        return torus_zone_lookup(points, self._bsp_arrays(), self.max_bsp_depth)
 
     def _build_frontier(self):
         """CSR of face neighbours + the torus-L1 zone-distance metric.
@@ -313,7 +421,9 @@ class CANOverlay(BaselineOverlay):
         )
         lo = np.asarray([zone.lo for zone in self.zones])
         hi = np.asarray([zone.hi for zone in self.zones])
-        metric = TorusZoneMetric(lo, hi, self._points_of, self._zones_of_points)
+        metric = TorusZoneMetric(
+            lo, hi, bsp=self._bsp_arrays(), max_depth=self.max_bsp_depth
+        )
         return csr, metric
 
     # ------------------------------------------------------------------
@@ -326,15 +436,24 @@ class CANOverlay(BaselineOverlay):
     def zone_of_point(self, point: np.ndarray) -> int:
         """Return the index of the zone containing a torus point.
 
+        Walks the flat BSP arrays (shared by both builders), so the
+        descent works whether or not a Python node tree exists.
+
         Raises:
             RuntimeError: when the descent exceeds ``max_bsp_depth``
                 levels (corrupt split tree; construction caps the depth).
         """
-        node = self._root
+        split_dim, split_at, low, high, zone = self._bsp_arrays()
+        point = np.asarray(point, dtype=float)
+        node = 0
         for _ in range(self.max_bsp_depth + 1):
-            if node.zone_index >= 0:
-                return node.zone_index
-            node = node.low if point[node.split_dim] < node.split_at else node.high
+            if zone[node] >= 0:
+                return int(zone[node])
+            node = (
+                int(low[node])
+                if point[split_dim[node]] < split_at[node]
+                else int(high[node])
+            )
         raise RuntimeError(
             f"CAN BSP descent exceeded max_bsp_depth={self.max_bsp_depth} "
             "levels without reaching a leaf; the split tree is corrupt"

@@ -88,6 +88,10 @@ class GraphConfig:
             deliberately ignores the global ``--workers`` default:
             opting in changes which random graph you get, so it must be
             explicit.
+        snapshot: persist every graph built under this config to the
+            given :mod:`repro.store` snapshot directory (written once,
+            right after construction); later runs reload it with
+            :func:`repro.store.load_graph` instead of rebuilding.
     """
 
     out_degree: int | None = None
@@ -98,6 +102,7 @@ class GraphConfig:
     max_retries: int = 64
     bidirectional: bool = False
     workers: int | None = None
+    snapshot: str | None = None
 
     def resolve_out_degree(self, n: int) -> int:
         """Return the concrete long-link budget for an ``n``-peer graph."""
@@ -181,7 +186,7 @@ def build_from_positions(
         if config.bidirectional:
             sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
             indptr, flat = symmetrize_flat(sources, flat, n)
-        return SmallWorldGraph.from_flat_links(
+        graph = SmallWorldGraph.from_flat_links(
             ids=ids,
             normalized_ids=normalized_ids,
             long_indptr=indptr,
@@ -191,13 +196,14 @@ def build_from_positions(
             model=model,
             cutoff_mass=cutoff,
         )
+        return _maybe_snapshot(graph, config)
     sampler = make_sampler(config.sampler, dedupe=config.dedupe, max_retries=config.max_retries)
     long_links = [
         sampler.sample(normalized_ids, i, k, cutoff, config.space, rng) for i in range(n)
     ]
     if config.bidirectional:
         long_links = _symmetrize(long_links, n)
-    return SmallWorldGraph(
+    graph = SmallWorldGraph(
         ids=ids,
         normalized_ids=normalized_ids,
         long_links=long_links,
@@ -206,6 +212,16 @@ def build_from_positions(
         model=model,
         cutoff_mass=cutoff,
     )
+    return _maybe_snapshot(graph, config)
+
+
+def _maybe_snapshot(graph: SmallWorldGraph, config: GraphConfig) -> SmallWorldGraph:
+    """Persist ``graph`` when the config names a snapshot directory."""
+    if config.snapshot is not None:
+        from repro.store import save_graph
+
+        save_graph(graph, config.snapshot)
+    return graph
 
 
 def _symmetrize(long_links: list[np.ndarray], n: int) -> list[np.ndarray]:

@@ -57,7 +57,13 @@ import numpy as np
 
 from repro.core.adjacency import CSRAdjacency
 from repro.core.routing import RouteResult
-from repro.keyspace import RingSpace, digit_rows, nearest_indices, successor_indices
+from repro.keyspace import (
+    RingSpace,
+    digit_rows,
+    morton_rows,
+    nearest_indices,
+    successor_indices,
+)
 
 __all__ = [
     "BatchRouteResult",
@@ -69,6 +75,8 @@ __all__ = [
     "TrieMetric",
     "TorusZoneMetric",
     "LatticeMetric",
+    "torus_points",
+    "torus_zone_lookup",
     "frontier_route_many",
     "REASON_ARRIVED",
     "REASON_STUCK",
@@ -517,27 +525,92 @@ class TrieMetric(RoutingMetric):
         return np.where(primary, _PRIMARY_SCORE, np.where(fallback, 0.0, np.inf))
 
 
+def torus_points(target_keys: np.ndarray, dims: int) -> np.ndarray:
+    """Embed 1-d keys into the ``dims``-dimensional torus, CAN-style.
+
+    ``dims == 1`` is the identity embedding (the raw key as the single
+    coordinate); higher dimensions use the locality-preserving Morton
+    spread (:func:`repro.keyspace.morton_rows`).
+    """
+    keys = np.asarray(target_keys, dtype=float)
+    if dims == 1:
+        return keys[:, None]
+    return morton_rows(keys, dims)
+
+
+def torus_zone_lookup(
+    points: np.ndarray, bsp: tuple, max_depth: int
+) -> np.ndarray:
+    """Resolve torus points to owning zones via a flat BSP split tree.
+
+    ``bsp`` is the ``(split_dim, split_at, low, high, zone)`` array
+    five-tuple produced by the CAN builder: node 0 is the root, internal
+    nodes carry ``zone == -1`` and a midpoint split, leaves carry the
+    owning zone index.  The descent is level-synchronous — one numpy
+    step resolves one BSP level for every pending point — so its
+    iteration count is bounded by the tree depth, which construction
+    caps at ``max_depth``.
+
+    Raises:
+        RuntimeError: when the descent exceeds ``max_depth`` levels
+            (corrupt split tree).
+    """
+    split_dim, split_at, low, high, zone = bsp
+    node = np.zeros(len(points), dtype=np.int64)
+    for _ in range(max_depth + 1):
+        pending = np.flatnonzero(zone[node] < 0)
+        if pending.size == 0:
+            return zone[node]
+        at = node[pending]
+        go_high = points[pending, split_dim[at]] >= split_at[at]
+        node[pending] = np.where(go_high, high[at], low[at])
+    raise RuntimeError(
+        f"BSP descent exceeded max_depth={max_depth} levels without "
+        "reaching a leaf; the split tree is corrupt"
+    )
+
+
 class TorusZoneMetric(RoutingMetric):
     """CAN's greedy zone walk: torus L1 distance from point to zone box.
+
+    Fully declarative — the zone geometry *and* the ownership structure
+    (the flat BSP split tree) are plain arrays, so the metric can be
+    serialized by :mod:`repro.store` and rebuilt without any overlay
+    object behind it.
 
     Args:
         lo: ``(n, d)`` inclusive lower corners of the zones.
         hi: ``(n, d)`` exclusive upper corners.
-        point_fn: vectorised key → ``(w, d)`` torus point embedding.
-        owner_fn: vectorised ``(w, d)`` points → owning zone indices.
+        bsp: the ``(split_dim, split_at, low, high, zone)`` flat BSP
+            arrays for owner resolution (see :func:`torus_zone_lookup`);
+            optional for score-only metrics rebuilt in worker processes,
+            where ``prepare`` already ran owner-side.
+        max_depth: BSP descent bound (the builder's ``max_bsp_depth``).
     """
 
-    def __init__(self, lo: np.ndarray, hi: np.ndarray, point_fn, owner_fn):
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        bsp: tuple | None = None,
+        max_depth: int = 96,
+    ):
         self.lo = np.asarray(lo, dtype=float)
         self.hi = np.asarray(hi, dtype=float)
-        self.point_fn = point_fn
-        self.owner_fn = owner_fn
+        self.bsp = bsp
+        self.max_depth = int(max_depth)
         self.dims = self.lo.shape[1]
 
     def prepare(self, target_keys, alive=None) -> PreparedTargets:
         self._no_alive(alive)
-        points = self.point_fn(np.asarray(target_keys, dtype=float))
-        owners = self.owner_fn(points)
+        if self.bsp is None:
+            raise ValueError(
+                "this TorusZoneMetric carries no BSP tree (score-only "
+                "worker rebuild); prepare() must run on the owner-side "
+                "metric"
+            )
+        points = torus_points(target_keys, self.dims)
+        owners = torus_zone_lookup(points, self.bsp, self.max_depth)
         return PreparedTargets(owners=owners, targets=points)
 
     def _zone_distances(self, points: np.ndarray, zones: np.ndarray) -> np.ndarray:

@@ -7,7 +7,11 @@ Subcommands:
   (``--quick`` for the reduced-size variants, ``--seed`` for
   reproducibility, ``--csv`` for machine-readable output,
   ``--workers N`` to shard lookup batches over N worker processes);
-* ``run all`` — run the full suite in registry order.
+* ``run all`` — run the full suite in registry order;
+* ``build --store PATH`` — build a model graph and persist it as a
+  :mod:`repro.store` snapshot;
+* ``load --store PATH`` — memmap a snapshot back (no rebuild) and
+  route a lookup batch over it.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+import numpy as np
 
 from repro.experiments.runner import REGISTRY, run_experiment
 
@@ -62,6 +68,47 @@ def build_parser() -> argparse.ArgumentParser:
             "(repro.parallel; results are bit-identical to serial)"
         ),
     )
+
+    build_p = sub.add_parser(
+        "build", help="build a model graph and persist it as a store snapshot"
+    )
+    build_p.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="snapshot directory to write",
+    )
+    build_p.add_argument(
+        "--n", type=_positive_int, default=100_000, help="number of peers"
+    )
+    build_p.add_argument(
+        "--model", choices=("uniform", "skewed", "naive"), default="uniform",
+        help="which of the paper's models to build",
+    )
+    build_p.add_argument(
+        "--alpha", type=float, default=2.5,
+        help="power-law exponent for the skewed/naive populations",
+    )
+    build_p.add_argument("--seed", type=int, default=0, help="random seed")
+    build_p.add_argument(
+        "--out-degree", type=_positive_int, default=None, metavar="K",
+        help="long links per peer (default: the paper's log2 N)",
+    )
+
+    load_p = sub.add_parser(
+        "load", help="memmap a stored snapshot and route lookups over it"
+    )
+    load_p.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="snapshot directory written by 'build' (or save_graph)",
+    )
+    load_p.add_argument(
+        "--routes", type=_positive_int, default=10_000,
+        help="number of random lookups to route",
+    )
+    load_p.add_argument("--seed", type=int, default=0, help="random seed")
+    load_p.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="shard the lookup batch over N worker processes",
+    )
     return parser
 
 
@@ -96,11 +143,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.builder import (
+        GraphConfig,
+        build_naive_model,
+        build_skewed_model,
+        build_uniform_model,
+    )
+    from repro.distributions import PowerLaw
+
+    rng = np.random.default_rng(args.seed)
+    config = GraphConfig(out_degree=args.out_degree, snapshot=args.store)
+    start = time.perf_counter()
+    if args.model == "uniform":
+        graph = build_uniform_model(args.n, rng, config)
+    elif args.model == "skewed":
+        graph = build_skewed_model(PowerLaw(args.alpha), args.n, rng, config)
+    else:
+        graph = build_naive_model(PowerLaw(args.alpha), args.n, rng, config)
+    elapsed = time.perf_counter() - start
+    print(
+        f"built {graph!r} in {elapsed:.1f}s and stored it at {args.store}"
+    )
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from repro.core import route_many
+    from repro.store import StoreError, load_graph
+
+    start = time.perf_counter()
+    try:
+        graph = load_graph(args.store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    loaded = time.perf_counter() - start
+    rng = np.random.default_rng(args.seed)
+    sources = rng.integers(0, graph.n, size=args.routes)
+    keys = rng.random(args.routes)
+    start = time.perf_counter()
+    result = route_many(graph, sources, keys, workers=args.workers)
+    routed = time.perf_counter() - start
+    print(f"loaded {graph!r} from {args.store} in {loaded * 1e3:.1f}ms")
+    print(
+        f"routed {args.routes} lookups in {routed:.2f}s: "
+        f"success {result.success_rate:.3f}, mean hops {result.mean_hops:.2f}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "load":
+        return _cmd_load(args)
     return _cmd_run(args)
 
 

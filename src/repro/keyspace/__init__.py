@@ -16,6 +16,7 @@ from repro.keyspace.ids import (
     from_digits,
     mix_hash,
     morton_collapse,
+    morton_rows,
     morton_spread,
 )
 from repro.keyspace.interval import IntervalSpace
@@ -47,5 +48,6 @@ __all__ = [
     "common_prefix_length",
     "mix_hash",
     "morton_spread",
+    "morton_rows",
     "morton_collapse",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "common_prefix_length",
     "mix_hash",
     "morton_spread",
+    "morton_rows",
     "morton_collapse",
 ]
 
@@ -205,6 +206,28 @@ def morton_spread(x: float, dims: int, bits_per_dim: int = 16) -> tuple[float, .
             value += bits[level * dims + d] * scale
         coords.append(value)
     return tuple(coords)
+
+
+def morton_rows(keys, dims: int, bits_per_dim: int = 16) -> np.ndarray:
+    """Vectorised :func:`morton_spread`: keys → ``(len(keys), dims)`` points.
+
+    Row ``i`` equals ``morton_spread(keys[i], dims, bits_per_dim)``
+    bit-for-bit: each coordinate is a sum of dyadic terms with disjoint
+    binary digits, so the dot-product accumulation below is exact in
+    float regardless of summation order.
+
+    Raises:
+        ValueError: on out-of-range keys, ``dims < 1`` or a precision
+            overflow (the same rules as :func:`morton_spread`).
+    """
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    bits = digit_rows(keys, 2, dims * bits_per_dim)  # validates [0, 1)
+    points = np.empty((len(bits), dims))
+    weights = 2.0 ** -np.arange(1, bits_per_dim + 1, dtype=float)
+    for d in range(dims):
+        points[:, d] = bits[:, d::dims] @ weights
+    return points
 
 
 def morton_collapse(point: tuple[float, ...], bits_per_dim: int = 16) -> float:

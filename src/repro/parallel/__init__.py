@@ -6,7 +6,13 @@ vectorized batches across cores.  Four modules:
 * :mod:`~repro.parallel.shm` — :class:`SharedArena` publishes CSR
   adjacency, id vectors and per-edge tag arrays through
   :mod:`multiprocessing.shared_memory`, so workers attach zero-copy
-  instead of unpickling graphs;
+  instead of unpickling graphs; arrays loaded from a
+  :mod:`repro.store` snapshot are served straight off the backing
+  files with no copy at all;
+* :mod:`~repro.parallel.arena_cache` — the owner-side
+  :class:`ArenaCache` keeps hot graphs' published arenas alive across
+  dispatch calls, so repeated ``route_many(workers=N)`` batches over
+  one graph republish nothing;
 * :mod:`~repro.parallel.executor` — :class:`ShardedExecutor`, a
   persistent spawn-safe worker pool with arena lifecycle management and
   a process-wide shared instance per worker count (:func:`get_executor`);
@@ -52,6 +58,8 @@ _EXPORTS = {
     "ArenaHandle": "shm",
     "SharedArena": "shm",
     "attach_arena": "shm",
+    "ArenaCache": "arena_cache",
+    "lease_arena": "arena_cache",
 }
 
 __all__ = sorted(_EXPORTS)

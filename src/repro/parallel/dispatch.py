@@ -44,6 +44,7 @@ from repro.core.metric_routing import (
     TrieMetric,
     frontier_route_many,
 )
+from repro.parallel.arena_cache import lease_arena
 from repro.parallel.autotune import shard_bounds
 from repro.parallel.executor import ShardedExecutor, get_executor
 from repro.parallel.shm import ArenaHandle, attach_arena
@@ -155,7 +156,7 @@ def _rebuild_metric(kind: str, params: dict, arrays: dict) -> RoutingMetric:
             arrays["m:cell_order"],
         )
     if kind == "torus":
-        return TorusZoneMetric(arrays["m:lo"], arrays["m:hi"], None, None)
+        return TorusZoneMetric(arrays["m:lo"], arrays["m:hi"])
     if kind == "lattice":
         return LatticeMetric(params["n"])
     raise ValueError(f"unknown metric kind {kind!r}")  # pragma: no cover
@@ -166,10 +167,17 @@ def _rebuild_metric(kind: str, params: dict, arrays: dict) -> RoutingMetric:
 # ----------------------------------------------------------------------
 
 def _route_shard(job) -> BatchRouteResult:
-    """Worker body: one shard of routes over the published frontier."""
+    """Worker body: one shard of routes over the published frontier.
+
+    The static operands (CSR + metric arrays) and the per-call liveness
+    mask arrive as *separate* arenas: the static arena is long-lived
+    (leased from the owner-side cache and reused across calls), while
+    the alive arena changes every call and must not invalidate the
+    worker's cached attachment of the static one.
+    """
     (
-        arena, kind, params, sources, keys,
-        owners, targets, extra, max_hops, record_paths, has_alive,
+        arena, alive_arena, kind, params, sources, keys,
+        owners, targets, extra, max_hops, record_paths,
     ) = job
     arrays = arena_arrays(arena)
     csr = CSRAdjacency(
@@ -179,7 +187,7 @@ def _route_shard(job) -> BatchRouteResult:
     )
     metric = _rebuild_metric(kind, params, arrays)
     prepared = PreparedTargets(owners=owners, targets=targets, extra=extra)
-    alive = arrays["alive"] if has_alive else None
+    alive = arena_arrays(alive_arena)["alive"] if alive_arena is not None else None
     return frontier_route_many(
         csr, metric, sources, keys,
         alive=alive, max_hops=max_hops, record_paths=record_paths,
@@ -224,6 +232,7 @@ def frontier_route_many_parallel(
     record_paths: bool = False,
     workers: int | None = None,
     executor: ShardedExecutor | None = None,
+    reuse_arena: bool = True,
 ) -> BatchRouteResult:
     """Sharded :func:`repro.core.metric_routing.frontier_route_many`.
 
@@ -243,6 +252,11 @@ def frontier_route_many_parallel(
         workers: worker count; ``None`` resolves via
             :func:`repro.parallel.autotune.resolve_workers`.
         executor: reuse an existing executor instead of the shared one.
+        reuse_arena: lease the static operand arena from the owner-side
+            cache (:mod:`repro.parallel.arena_cache`) so repeated calls
+            over the same graph skip the republish; ``False`` restores
+            the publish-per-call lifecycle (each call creates and
+            unlinks its own arena).
 
     Raises:
         ValueError: on mismatched inputs or an out-of-range/dead source.
@@ -289,22 +303,32 @@ def frontier_route_many_parallel(
         "csr:is_long": csr.is_long,
         **metric_arrays,
     }
-    if alive is not None:
-        arrays["alive"] = alive
-    handle = ex.publish(arrays)
+    # The static operands are stable per graph/overlay; the liveness
+    # mask changes per call.  They travel in separate arenas so the
+    # static one can be cached (owner side *and* worker side) while the
+    # alive arena keeps the publish-per-call lifecycle.
+    if reuse_arena:
+        handle = lease_arena(arrays)  # cache-owned; never released here
+    else:
+        handle = ex.publish(arrays)
+    alive_handle = ex.publish({"alive": alive}) if alive is not None else None
     try:
         jobs = [
             (
-                handle, kind, params, sources[lo:hi], target_keys[lo:hi],
+                handle, alive_handle, kind, params,
+                sources[lo:hi], target_keys[lo:hi],
                 owners[lo:hi], targets[lo:hi],
                 None if extra is None else extra[lo:hi],
-                max_hops, record_paths, alive is not None,
+                max_hops, record_paths,
             )
             for lo, hi in bounds
         ]
         parts = ex.map_shards(_route_shard, jobs)
     finally:
-        ex.release(handle)
+        if not reuse_arena:
+            ex.release(handle)
+        if alive_handle is not None:
+            ex.release(alive_handle)
     return _merge_route_results(parts, sources, target_keys)
 
 
@@ -318,6 +342,7 @@ def route_many_parallel(
     record_paths: bool = False,
     workers: int | None = None,
     executor: ShardedExecutor | None = None,
+    reuse_arena: bool = True,
 ) -> BatchRouteResult:
     """Sharded :func:`repro.core.route_many` over a small-world graph.
 
@@ -325,7 +350,8 @@ def route_many_parallel(
     ``REPRO_WORKERS`` / CLI ``--workers`` defaults); call this directly
     to pin an executor or to bypass the batch-size heuristic.
 
-    Args and raises as :func:`repro.core.route_many`.
+    Args and raises as :func:`repro.core.route_many`, plus
+    ``reuse_arena`` as in :func:`frontier_route_many_parallel`.
     """
     from repro.core.batch_routing import _graph_metric
 
@@ -339,6 +365,7 @@ def route_many_parallel(
         record_paths=record_paths,
         workers=workers,
         executor=executor,
+        reuse_arena=reuse_arena,
     )
 
 
@@ -350,6 +377,7 @@ def measure_overlay_batch_parallel(
     target_ids: np.ndarray | None = None,
     workers: int | None = None,
     executor: ShardedExecutor | None = None,
+    reuse_arena: bool = True,
 ):
     """Sharded :func:`repro.baselines.measure_overlay_batch`.
 
@@ -372,7 +400,8 @@ def measure_overlay_batch_parallel(
     csr, metric = overlay._frontier()
     return summarize_lookups(
         frontier_route_many_parallel(
-            csr, metric, sources, keys, workers=workers, executor=executor
+            csr, metric, sources, keys,
+            workers=workers, executor=executor, reuse_arena=reuse_arena,
         )
     )
 

@@ -20,13 +20,17 @@ construction.
 Most callers go through :func:`get_executor`, which keeps one persistent
 executor per worker count for the whole process (spawning workers costs
 ~1 s each; a pool is only worth keeping warm).  Explicitly constructed
-executors remain independent and context-managed.
+executors remain independent and context-managed — but every executor
+is also tracked in a weak set and swept by the atexit
+:func:`shutdown_all`, so a forgotten ``close()`` can no longer leak
+published shared-memory segments past process exit.
 """
 
 from __future__ import annotations
 
 import atexit
 import sys
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 
@@ -67,6 +71,7 @@ class ShardedExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._arenas: dict[str, SharedArena] = {}
         self._closed = False
+        _LIVE_EXECUTORS.add(self)
 
     # ------------------------------------------------------------------
     # execution
@@ -166,6 +171,12 @@ def _noop(_payload) -> None:
     return None
 
 
+#: Every executor ever constructed and not yet garbage-collected — the
+#: atexit sweep closes them all, so arenas published through explicitly
+#: constructed executors cannot outlive the process as orphaned
+#: ``/dev/shm`` segments when callers forget ``close()``.
+_LIVE_EXECUTORS: "weakref.WeakSet[ShardedExecutor]" = weakref.WeakSet()
+
 _SHARED: dict[int, ShardedExecutor] = {}
 
 
@@ -187,10 +198,18 @@ def get_executor(workers: int | None = None) -> ShardedExecutor:
 
 
 def shutdown_all() -> None:
-    """Close every shared executor (normally only called atexit)."""
+    """Close every known executor (normally only called atexit).
+
+    Sweeps the shared per-count executors *and* every explicitly
+    constructed :class:`ShardedExecutor` still alive, unlinking any
+    arenas they left published.
+    """
     for executor in list(_SHARED.values()):
         executor.close()
     _SHARED.clear()
+    for executor in list(_LIVE_EXECUTORS):
+        if not executor._closed:
+            executor.close()
 
 
 atexit.register(shutdown_all)

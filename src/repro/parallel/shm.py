@@ -39,12 +39,23 @@ __all__ = ["ArraySpec", "ArenaHandle", "SharedArena", "attach_arena", "detach_al
 
 @dataclass(frozen=True)
 class ArraySpec:
-    """Recipe to map one published array: segment name + shape + dtype."""
+    """Recipe to map one published array.
+
+    Two backing flavours:
+
+    * **shared-memory** (``segment`` set) — the owner copied the array
+      into a :mod:`multiprocessing.shared_memory` segment;
+    * **file-backed** (``path`` set) — the array already lives in a
+      file (a :mod:`repro.store` snapshot); workers map the file
+      read-only at ``offset`` and nothing is ever copied anywhere.
+    """
 
     key: str
-    segment: str
+    segment: str | None
     shape: tuple[int, ...]
     dtype: str
+    path: str | None = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,9 +79,14 @@ class ArenaHandle:
 class SharedArena:
     """Owner-side arena: one shared-memory segment per published array.
 
+    Arrays that are already file-backed root memmaps (loaded from a
+    :mod:`repro.store` snapshot) are *not* copied — their spec records
+    the backing file and offset and workers map the file directly.
+
     Args:
         arrays: mapping of logical name → array to publish.  Each array
-            is copied once (C-contiguous) into its segment.
+            is copied once (C-contiguous) into its segment, unless it
+            is file-backed (see above).
 
     Raises:
         OSError: when the platform refuses a segment (e.g. ``/dev/shm``
@@ -82,21 +98,22 @@ class SharedArena:
         specs: list[ArraySpec] = []
         try:
             for key, array in arrays.items():
-                array = np.ascontiguousarray(array)
-                seg = shared_memory.SharedMemory(
-                    create=True, size=max(1, array.nbytes)
-                )
-                view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
-                view[...] = array
-                self._segments.append(seg)
-                specs.append(
-                    ArraySpec(
+                spec = _file_spec(key, array)
+                if spec is None:
+                    array = np.ascontiguousarray(array)
+                    seg = shared_memory.SharedMemory(
+                        create=True, size=max(1, array.nbytes)
+                    )
+                    view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+                    view[...] = array
+                    self._segments.append(seg)
+                    spec = ArraySpec(
                         key=key,
                         segment=seg.name,
                         shape=tuple(array.shape),
                         dtype=str(array.dtype),
                     )
-                )
+                specs.append(spec)
         except BaseException:
             self.close()
             raise
@@ -125,14 +142,52 @@ class SharedArena:
         )
 
 
+def array_root(array: np.ndarray) -> np.ndarray:
+    """Follow the ``base`` chain to the array owning the buffer."""
+    root = array
+    while isinstance(root.base, np.ndarray):
+        root = root.base
+    return root
+
+
+def _file_spec(key: str, array: np.ndarray) -> ArraySpec | None:
+    """Describe an already-file-backed array without copying it.
+
+    Qualifies any C-contiguous array whose buffer root is a file-backed
+    memmap (``np.load(mmap_mode="r")`` on a snapshot array, or a view
+    of one — e.g. the base-class view ``np.asarray`` makes when a
+    metric wraps a loaded id vector).  The file offset is recomputed
+    from the data pointers, so views map exactly the bytes they cover;
+    a memmap view's own stale ``offset`` attribute is never trusted.
+    """
+    if not array.flags["C_CONTIGUOUS"]:
+        return None
+    root = array_root(array)
+    if not isinstance(root, np.memmap) or root.filename is None:
+        return None
+    ptr = array.__array_interface__["data"][0]
+    root_ptr = root.__array_interface__["data"][0]
+    return ArraySpec(
+        key=key,
+        segment=None,
+        shape=tuple(array.shape),
+        dtype=str(array.dtype),
+        path=str(root.filename),
+        offset=int(root.offset) + (ptr - root_ptr),
+    )
+
+
 #: Attached arenas of *this* process: token → (segments, arrays).
 _ATTACHED: "OrderedDict[str, tuple[list, dict[str, np.ndarray]]]" = OrderedDict()
 
-#: Keep at most this many arenas mapped per worker process.  Tokens are
-#: per-dispatch-call, so only the current call's arena is ever live; one
-#: spare slot covers call overlap without pinning a queue of unlinked
-#: multi-hundred-MB CSR copies in each worker.
-_ATTACH_CACHE_LIMIT = 2
+#: Keep at most this many arenas mapped per worker process.  The
+#: owner-side arena cache (:mod:`repro.parallel.arena_cache`) keeps one
+#: long-lived arena per hot graph and publishes per-call liveness masks
+#: as separate short-lived arenas, so a worker juggles a couple of
+#: stable tokens plus the current call's — four slots keep the stable
+#: ones hot without pinning a queue of unlinked multi-hundred-MB CSR
+#: copies in each worker.
+_ATTACH_CACHE_LIMIT = 4
 
 
 #: Serialises the pre-3.13 register patch below: without it, two threads
@@ -178,6 +233,15 @@ def attach_arena(handle: ArenaHandle) -> dict[str, np.ndarray]:
     segments: list[shared_memory.SharedMemory] = []
     arrays: dict[str, np.ndarray] = {}
     for spec in handle.specs:
+        if spec.path is not None:
+            arrays[spec.key] = np.memmap(
+                spec.path,
+                dtype=np.dtype(spec.dtype),
+                mode="r",
+                offset=spec.offset,
+                shape=spec.shape,
+            )
+            continue
         seg = _open_untracked(spec.segment)
         segments.append(seg)
         arrays[spec.key] = np.ndarray(

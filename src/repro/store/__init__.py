@@ -1,0 +1,46 @@
+"""Persistent graph store: versioned on-disk CSR snapshots, mmap-backed.
+
+Building a large overlay is minutes of work; serving lookups over it
+needs none of that work repeated.  This package snapshots built
+topologies — the small-world model graph and every baseline comparator
+— into directories of plain ``.npy`` arrays plus a JSON manifest, and
+loads them back as read-only ``np.memmap`` views: O(header) load time,
+zero rebuild, zero copy, and bit-identical routing through the same
+CSR + metric frontier contract the live objects expose.
+
+* :func:`save_graph` / :func:`load_graph` — :class:`SmallWorldGraph`
+  snapshots (identifier vectors + flat CSR edge set).
+* :func:`save_overlay` / :func:`load_overlay` — any
+  :class:`repro.baselines.base.BaselineOverlay` via its
+  ``to_csr()``/``metric`` pair, reloaded as :class:`LoadedOverlay`.
+* :class:`StoreError` — every failure mode (missing, corrupt,
+  truncated, version/kind mismatch) surfaces as this one exception.
+
+Loaded arrays keep their file backing visible, so the parallel
+execution layer (:mod:`repro.parallel`) serves worker processes
+straight off the snapshot files instead of copying arrays into shared
+memory.
+"""
+
+from repro.store.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    StoreError,
+    read_manifest,
+    write_snapshot,
+)
+from repro.store.graph_store import load_graph, save_graph
+from repro.store.overlay_store import LoadedOverlay, load_overlay, save_overlay
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "StoreError",
+    "read_manifest",
+    "write_snapshot",
+    "save_graph",
+    "load_graph",
+    "save_overlay",
+    "load_overlay",
+    "LoadedOverlay",
+]

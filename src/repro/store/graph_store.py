@@ -1,0 +1,156 @@
+"""Persist and reload :class:`SmallWorldGraph` snapshots.
+
+:func:`save_graph` writes the graph's identifier vectors and its full
+CSR edge set; :func:`load_graph` maps them back read-only without
+rebuilding anything — the CSR arrays come straight off disk, the
+per-peer ``long_links`` rows are a lazy sequence of slices into the
+mapped ``indices`` array, and the identifier memmaps are reattached to
+the dataclass after construction (``__post_init__``'s ``np.asarray``
+would otherwise strip the ``np.memmap`` subclass and lose the
+file-backing metadata the zero-copy parallel path serves workers from).
+
+Routing on a loaded graph is bit-identical to routing on the original:
+``route_many(metric="key")`` consumes only ``ids``/``space``/CSR, all
+of which round-trip exactly.  The one non-serialisable field is
+``normalize`` (an arbitrary callable); pass it back via
+``load_graph(..., normalize=...)`` when ``metric="normalized"`` routing
+must also match.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.adjacency import CSRAdjacency, _neighbor_blocks
+from repro.core.graph import SmallWorldGraph
+from repro.keyspace import IntervalSpace, RingSpace
+from repro.store.format import open_arrays, read_manifest, write_snapshot
+
+__all__ = ["save_graph", "load_graph"]
+
+_SPACES = {"interval": IntervalSpace, "ring": RingSpace}
+
+
+def space_from_name(name: str):
+    """Rebuild a key-space geometry from its persisted ``name`` tag."""
+    from repro.store.format import StoreError
+
+    cls = _SPACES.get(name)
+    if cls is None:
+        raise StoreError(f"unknown key-space name {name!r} in snapshot")
+    return cls()
+
+
+class _LazyLongRows:
+    """``long_links`` as lazy slices over the mapped CSR arrays.
+
+    A loaded graph must not materialise one array per peer (at 1e7+
+    peers that alone would cost seconds and gigabytes); this sequence
+    slices the read-only ``indices`` memmap on demand, skipping each
+    row's leading ring/interval neighbours.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, is_ring: bool):
+        n = len(indptr) - 1
+        _, nbr_counts = _neighbor_blocks(n, is_ring)
+        self._starts = np.asarray(indptr[:-1]) + nbr_counts
+        self._ends = np.asarray(indptr[1:])
+        self._indices = indices
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __getitem__(self, i):
+        return self._indices[self._starts[i] : self._ends[i]]
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"_LazyLongRows(n={len(self)})"
+
+
+def save_graph(graph: SmallWorldGraph, path: str | os.PathLike) -> None:
+    """Write ``graph`` as a versioned snapshot directory.
+
+    Persists the identifier vectors and the flattened CSR edge set (the
+    complete routing state); ``normalize`` callables are deliberately
+    not serialised (see module docstring).
+
+    Raises:
+        StoreError: for a key space outside the shipped interval/ring
+            geometries.
+    """
+    from repro.store.format import StoreError
+
+    if graph.space.name not in _SPACES:
+        raise StoreError(
+            f"cannot persist graphs over key space {graph.space.name!r}"
+        )
+    csr = graph.adjacency
+    write_snapshot(
+        path,
+        "graph",
+        payload={
+            "n": graph.n,
+            "space": graph.space.name,
+            "model": graph.model,
+            "cutoff_mass": float(graph.cutoff_mass),
+        },
+        arrays={
+            "ids": graph.ids,
+            "normalized_ids": graph.normalized_ids,
+            "indptr": csr.indptr,
+            "indices": csr.indices,
+            "is_long": csr.is_long,
+        },
+    )
+
+
+def load_graph(
+    path: str | os.PathLike,
+    normalize: Callable[[float], float] = float,
+) -> SmallWorldGraph:
+    """Map a saved graph back without rebuilding its edge set.
+
+    All arrays are read-only ``np.memmap`` views — mutation attempts
+    raise, and the parallel dispatch layer can serve workers straight
+    off the backing files with no copy.
+
+    Args:
+        path: snapshot directory written by :func:`save_graph`.
+        normalize: the model's CDF callable, if ``metric="normalized"``
+            routing is needed (not persisted; defaults to identity).
+
+    Raises:
+        StoreError: missing/corrupt snapshot or version/kind mismatch.
+    """
+    manifest = read_manifest(path, kind="graph")
+    payload = manifest["payload"]
+    arrays = open_arrays(path, manifest)
+    space = space_from_name(payload["space"])
+    csr = CSRAdjacency(
+        indptr=arrays["indptr"],
+        indices=arrays["indices"],
+        is_long=arrays["is_long"],
+    )
+    graph = SmallWorldGraph(
+        ids=arrays["ids"],
+        normalized_ids=arrays["normalized_ids"],
+        long_links=_LazyLongRows(arrays["indptr"], arrays["indices"], space.is_ring),
+        space=space,
+        normalize=normalize,
+        model=payload["model"],
+        cutoff_mass=payload["cutoff_mass"],
+    )
+    # __post_init__'s np.asarray demoted the memmaps to plain ndarray
+    # views; reattach the originals so downstream layers can see the
+    # file backing (shape/dtype/data are identical either way).
+    graph.ids = arrays["ids"]
+    graph.normalized_ids = arrays["normalized_ids"]
+    graph.__dict__["_adjacency"] = csr
+    return graph

@@ -137,3 +137,48 @@ class TestBSPDepthCap:
         # and the vectorised owner descent still resolves everything
         owners = can._zones_of_points(can._points_of(rng.random(256)))
         assert owners.min() >= 0 and owners.max() < can.n
+
+
+class TestBulkBuilder:
+    """The batch BSP builder must reproduce the scalar insertion tree exactly."""
+
+    @pytest.mark.parametrize("dims", [1, 2, 3])
+    def test_bulk_matches_scalar_exactly(self, rng, dims):
+        keys = rng.random(700)
+        bulk = CANOverlay(keys, dims=dims)
+        scalar = CANOverlay(keys, dims=dims, builder="scalar")
+        assert bulk.builder == "bulk" and scalar.builder == "scalar"
+        for zb, zs in zip(bulk.zones, scalar.zones):
+            np.testing.assert_array_equal(zb.lo, zs.lo)
+            np.testing.assert_array_equal(zb.hi, zs.hi)
+            assert zb.depth == zs.depth
+        for nb, ns in zip(bulk.neighbors, scalar.neighbors):
+            np.testing.assert_array_equal(np.sort(np.asarray(nb)), np.sort(np.asarray(ns)))
+
+    def test_bulk_routes_match_scalar(self, rng):
+        keys = rng.random(400)
+        bulk = CANOverlay(keys, dims=2)
+        scalar = CANOverlay(keys, dims=2, builder="scalar")
+        lookups = rng.random(64)
+        for key in lookups:
+            rb = bulk.route(0, key)
+            rs = scalar.route(0, key)
+            assert list(rb.path) == list(rs.path)
+            assert rb.success == rs.success
+
+    def test_skewed_population_matches(self, rng):
+        keys = PowerLaw(2.5).sample(300, rng)
+        bulk = CANOverlay(keys, dims=2)
+        scalar = CANOverlay(keys, dims=2, builder="scalar")
+        for zb, zs in zip(bulk.zones, scalar.zones):
+            np.testing.assert_array_equal(zb.lo, zs.lo)
+            np.testing.assert_array_equal(zb.hi, zs.hi)
+
+    def test_invalid_builder_rejected(self, rng):
+        with pytest.raises(ValueError, match="builder"):
+            CANOverlay(rng.random(8), dims=2, builder="recursive")
+
+    def test_bulk_depth_cap_raises(self):
+        keys = np.arange(110.0) * 1e-40
+        with pytest.raises(RuntimeError, match="max_bsp_depth"):
+            CANOverlay(keys, dims=1)  # bulk is the default builder
