@@ -1,0 +1,188 @@
+"""The telemetry layer: near-zero overhead off and on, deterministic merges.
+
+Two gates over the same 100k-peer workload the parallel gates use:
+
+* **overhead gate** (``ci.sh`` runs ``-k overhead``): serial route-batch
+  throughput with telemetry *enabled* must stay within 5% of the
+  disabled baseline — the instrumentation is a handful of counter
+  increments, one ``observe_batch`` over the hop column, and a trace
+  event per frontier round, all of which must stay invisible next to
+  the routing kernel itself.  Both sides are timed twice and the best
+  run kept, so a scheduler hiccup cannot fail the gate spuriously.
+* **merge-determinism gate**: the shard-merged metrics of
+  :func:`repro.parallel.route_many_parallel` must be *bit-identical*
+  for workers {1, 2, 4} — same counters, same P² quantile marker
+  state.  Timers are wall-clock and deliberately outside the contract.
+
+Each gate appends its measurement (with its own ``wall_seconds``) to
+``benchmarks/results/BENCH_telemetry.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import build_uniform_model, route_many
+from repro.parallel import get_executor, route_many_parallel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY = RESULTS_DIR / "BENCH_telemetry.json"
+
+N_PEERS = 100_000
+N_ROUTES = 150_000
+OVERHEAD_GATE = 1.05  # enabled may cost at most 5% over disabled
+
+#: Counter prefixes under the shard-merge bit-identity contract.  The
+#: arena-cache and attach counters are owner-/process-local by design
+#: (a serial run never leases an arena) and are excluded on purpose.
+DETERMINISTIC_PREFIXES = ("routing.", "parallel.shards", "parallel.dispatches")
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _record_trajectory(entry: dict) -> None:
+    """Append one measurement to the telemetry trajectory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = json.loads(TRAJECTORY.read_text()) if TRAJECTORY.exists() else []
+    history.append(entry)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    graph = build_uniform_model(n=N_PEERS, rng=rng)
+    _ = graph.adjacency  # CSR built once, outside every timed region
+    sources = rng.integers(N_PEERS, size=N_ROUTES)
+    keys = rng.random(N_ROUTES)
+    return graph, sources, keys
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off_after():
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+def _best_of(runs: int, fn) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(runs):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_telemetry_overhead_gate(workload):
+    """Enabled serial routing within 5% of disabled at n=1e5."""
+    graph, sources, keys = workload
+    wall_started = time.perf_counter()
+
+    telemetry.disable()
+    off_seconds, off = _best_of(2, lambda: route_many(graph, sources, keys))
+    telemetry.enable()
+    on_seconds, on = _best_of(2, lambda: route_many(graph, sources, keys))
+    telemetry.disable()
+
+    assert np.array_equal(on.hops, off.hops)
+    assert np.array_equal(on.reason_codes, off.reason_codes)
+    overhead = on_seconds / off_seconds
+    print(
+        f"\ntelemetry overhead, n={N_PEERS}, {N_ROUTES} routes: "
+        f"disabled {off_seconds:.3f}s, enabled {on_seconds:.3f}s, "
+        f"ratio {overhead:.3f}x (gate <= {OVERHEAD_GATE}x)"
+    )
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": "overhead_serial",
+            "n": N_PEERS,
+            "routes": N_ROUTES,
+            "cpus": _usable_cpus(),
+            "disabled_seconds": round(off_seconds, 4),
+            "enabled_seconds": round(on_seconds, 4),
+            "overhead_ratio": round(overhead, 4),
+            "gate": OVERHEAD_GATE,
+            "wall_seconds": round(time.perf_counter() - wall_started, 4),
+        }
+    )
+    assert overhead <= OVERHEAD_GATE, (
+        f"telemetry-enabled routing cost {overhead:.3f}x the disabled "
+        f"baseline (gate {OVERHEAD_GATE}x)"
+    )
+
+
+def _deterministic_view(registry) -> tuple[dict, dict]:
+    """The merged metrics under the bit-identity contract."""
+    counters = {
+        name: counter.value
+        for name, counter in registry.counters.items()
+        if name.startswith(DETERMINISTIC_PREFIXES)
+    }
+    quantiles = {
+        name: quantile.state() for name, quantile in registry.quantiles.items()
+    }
+    return counters, quantiles
+
+
+def test_telemetry_shard_merge_bit_identity(workload):
+    """Merged counters and P² states identical for workers {1, 2, 4}."""
+    graph, sources, keys = workload
+    # A slice keeps the three full dispatches quick; still >> shard size.
+    sources, keys = sources[:30_000], keys[:30_000]
+    wall_started = time.perf_counter()
+
+    views, hop_sums = {}, {}
+    for workers in (1, 2, 4):
+        telemetry.reset()
+        telemetry.enable()
+        batch = route_many_parallel(
+            graph, sources, keys, executor=get_executor(workers)
+        )
+        views[workers] = _deterministic_view(telemetry.get_registry())
+        hop_sums[workers] = int(batch.hops.sum())
+        telemetry.disable()
+
+    counters_1, quantiles_1 = views[1]
+    assert counters_1, "expected routing counters from the sharded dispatch"
+    assert "routing.hops" in quantiles_1
+    for workers in (2, 4):
+        counters_w, quantiles_w = views[workers]
+        assert counters_w == counters_1, (
+            f"workers={workers} merged counters diverge from workers=1"
+        )
+        assert quantiles_w == quantiles_1, (
+            f"workers={workers} merged P² quantile state diverges "
+            f"from workers=1"
+        )
+        assert hop_sums[workers] == hop_sums[1]
+    print(
+        f"\ntelemetry shard merge, {len(sources)} routes: counters and "
+        f"P² states bit-identical for workers {{1, 2, 4}}"
+    )
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": "shard_merge_identity",
+            "n": N_PEERS,
+            "routes": len(sources),
+            "cpus": _usable_cpus(),
+            "workers_compared": [1, 2, 4],
+            "bit_identical": True,
+            "counters_compared": len(counters_1),
+            "wall_seconds": round(time.perf_counter() - wall_started, 4),
+        }
+    )

@@ -14,12 +14,50 @@ Run directly (``python benchmarks/consolidate_bench.py``) or let
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 import sys
 import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SUMMARY = RESULTS_DIR / "BENCH_summary.json"
+
+#: Entry fields recognised as that measurement's wall-clock cost, in
+#: preference order (benchmarks record one of these; older trajectories
+#: may record none, in which case no wall-time row is emitted).
+_WALL_FIELDS = ("wall_seconds", "seconds")
+
+
+def host_info() -> dict:
+    """Describe the machine the benchmarks ran on.
+
+    Recorded in the summary so a regression can be told apart from a
+    hardware change when trajectories span machines.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+
+
+def _wall_times(entries: list[dict]) -> dict | None:
+    """Latest/total wall-clock seconds over entries that record one."""
+    walls = []
+    for entry in entries:
+        for field in _WALL_FIELDS:
+            if isinstance(entry.get(field), (int, float)):
+                walls.append(float(entry[field]))
+                break
+    if not walls:
+        return None
+    return {
+        "latest": walls[-1],
+        "total": sum(walls),
+        "samples": len(walls),
+    }
 
 
 def _speedup_trend(entries: list[dict]) -> dict | None:
@@ -72,9 +110,13 @@ def consolidate(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
         trend = _speedup_trend(entries)
         if trend is not None:
             summary["speedup_trend"] = trend
+        walls = _wall_times(entries)
+        if walls is not None:
+            summary["wall_seconds"] = walls
         benchmarks[path.stem] = summary
     return {
         "generated_at": time.time(),
+        "host": host_info(),
         "trajectories": len(benchmarks),
         "benchmarks": benchmarks,
     }

@@ -37,6 +37,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
   echo "== persistent store smoke (round-trip parity + >=100x load gate + arena-cache gate) =="
   python -m pytest benchmarks/bench_store.py -q -s
 
+  echo "== telemetry smoke (<=5% enabled overhead + shard-merge bit-identity) =="
+  python -m pytest benchmarks/bench_telemetry.py -q -s
+
   echo "== consolidating BENCH_*.json trajectories =="
   python benchmarks/consolidate_bench.py
 fi

@@ -55,8 +55,11 @@ samplers.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.keyspace import KeySpace, nearest_indices
 
 __all__ = [
@@ -309,6 +312,9 @@ def bulk_links(
     all_rows = np.arange(n, dtype=np.int64)
     need = np.where(has_mass, k, 0).astype(np.int64)
     accepted = np.empty(0, dtype=np.int64)  # sorted distinct row*n+col keys
+    tel_on = telemetry.enabled()
+    started = time.perf_counter() if tel_on else 0.0
+    rounds_used = 0
     # Every outstanding link is redrawn once per round, so max_rounds
     # rounds give each link the same random-retry budget as the scalar
     # sampler's max_retries before the deterministic fallback — no early
@@ -318,6 +324,7 @@ def bulk_links(
         active = need > 0
         if not active.any():
             break
+        rounds_used += 1
         draw_rows = np.repeat(all_rows[active], need[active])
         drawn, valid = _draw_targets(
             positions[draw_rows], left[draw_rows], right[draw_rows],
@@ -336,8 +343,22 @@ def bulk_links(
             # Every *valid* draw (duplicates included) spends budget; the
             # duplicate targets then collapse, as in the literal model.
             need = need - np.bincount(draw_rows[ok], minlength=n)
+    fallback_rows = int(np.count_nonzero(need > 0))
     if need.any():
         accepted = _fallback_fill(positions, cutoff, space, need, accepted, dedupe)
+    if tel_on:
+        registry = telemetry.get_registry()
+        registry.timer("construction.bulk_links").observe(
+            time.perf_counter() - started
+        )
+        registry.counter("construction.rounds").inc(rounds_used)
+        registry.counter("construction.fallback_rows").inc(fallback_rows)
+        telemetry.trace(
+            "construction.bulk_links",
+            rows=int(len(rows)) if rows is not None else n,
+            rounds=rounds_used,
+            fallback_rows=fallback_rows,
+        )
     return split_rows(accepted, n)
 
 

@@ -53,8 +53,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import time
+
 import numpy as np
 
+from repro import telemetry
 from repro.core.adjacency import CSRAdjacency
 from repro.core.routing import RouteResult
 from repro.keyspace import (
@@ -755,10 +758,19 @@ def frontier_route_many(
     step_walks: list[np.ndarray] = []
     step_nodes: list[np.ndarray] = []
 
+    tel_on = telemetry.enabled()
+    started = time.perf_counter() if tel_on else 0.0
+    rounds = 0
+
     while True:
         frontier = np.flatnonzero(active)
         if frontier.size == 0:
             break
+        if tel_on:
+            rounds += 1
+            telemetry.trace(
+                "routing.round", round=rounds, active=int(frontier.size)
+            )
         # Budget check first, mirroring the scalar routers' loop heads.
         exhausted = hops[frontier] >= max_hops
         if exhausted.any():
@@ -827,6 +839,11 @@ def frontier_route_many(
             success[movers[arrived]] = True
             active[movers[arrived]] = False
 
+    if tel_on:
+        _record_batch_telemetry(
+            metric, n_routes, rounds, reason_codes, hops,
+            time.perf_counter() - started,
+        )
     paths = _assemble_paths(sources, step_walks, step_nodes) if record_paths else None
     return BatchRouteResult(
         success=success,
@@ -838,6 +855,54 @@ def frontier_route_many(
         target_keys=target_keys,
         owners=owners,
         paths=paths,
+    )
+
+
+def _metric_family(metric: RoutingMetric) -> str:
+    """Snake-case family label for a metric (``GreedyValueMetric`` →
+    ``greedy_value``), used to key per-family batch timers."""
+    name = type(metric).__name__
+    if name.endswith("Metric"):
+        name = name[: -len("Metric")]
+    return "".join(
+        ("_" + ch.lower()) if ch.isupper() and i else ch.lower()
+        for i, ch in enumerate(name)
+    )
+
+
+def _record_batch_telemetry(
+    metric: RoutingMetric,
+    n_routes: int,
+    rounds: int,
+    reason_codes: np.ndarray,
+    hops: np.ndarray,
+    seconds: float,
+) -> None:
+    """Fold one routed batch into the active registry.
+
+    Per batch: walk/round counters, the full REASON-code histogram
+    (zeros included — the stable-schema contract downstream dashboards
+    rely on), the hop-count P² estimator, a per-metric-family batch
+    timer, and one ``routing.batch`` trace event.
+    """
+    registry = telemetry.get_registry()
+    family = _metric_family(metric)
+    registry.timer(f"routing.batch.{family}").observe(seconds)
+    registry.counter("routing.walks").inc(n_routes)
+    registry.counter("routing.rounds").inc(rounds)
+    tally = np.bincount(reason_codes, minlength=len(_REASON_LABELS))
+    for code, label in enumerate(_REASON_LABELS):
+        registry.counter(f"routing.reason.{label}").inc(int(tally[code]))
+    registry.quantile("routing.hops").observe_batch(hops)
+    telemetry.trace(
+        "routing.batch",
+        family=family,
+        walks=n_routes,
+        rounds=rounds,
+        arrived=int(tally[REASON_ARRIVED]),
+        stuck=int(tally[REASON_STUCK]),
+        max_hops=int(tally[REASON_MAX_HOPS]),
+        seconds=seconds,
     )
 
 

@@ -34,6 +34,21 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _add_telemetry_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "collect cross-layer metrics (repro.telemetry) and print a "
+            "summary table after the command; with PATH, also stream "
+            "trace events and the final snapshot to a JSONL file"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Return the configured argument parser."""
     parser = argparse.ArgumentParser(
@@ -68,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
             "(repro.parallel; results are bit-identical to serial)"
         ),
     )
+    _add_telemetry_flag(run_p)
 
     build_p = sub.add_parser(
         "build", help="build a model graph and persist it as a store snapshot"
@@ -92,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-degree", type=_positive_int, default=None, metavar="K",
         help="long links per peer (default: the paper's log2 N)",
     )
+    _add_telemetry_flag(build_p)
 
     load_p = sub.add_parser(
         "load", help="memmap a stored snapshot and route lookups over it"
@@ -109,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=None, metavar="N",
         help="shard the lookup batch over N worker processes",
     )
+    _add_telemetry_flag(load_p)
     return parser
 
 
@@ -193,16 +211,39 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_wrap(args: argparse.Namespace, command) -> int:
+    """Run ``command`` under telemetry when ``--telemetry`` was given.
+
+    Prints the summary table after the command; an optional flag value
+    is the JSONL path trace events and the final snapshot stream to.
+    """
+    spec = getattr(args, "telemetry", None)
+    if spec is None:
+        return command(args)
+    from repro import telemetry
+
+    telemetry.enable(jsonl=spec or None)
+    try:
+        status = command(args)
+        print()
+        print(telemetry.summary_table())
+        if spec:
+            print(f"[telemetry JSONL written to {spec}]")
+        return status
+    finally:
+        telemetry.disable()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "build":
-        return _cmd_build(args)
+        return _telemetry_wrap(args, _cmd_build)
     if args.command == "load":
-        return _cmd_load(args)
-    return _cmd_run(args)
+        return _telemetry_wrap(args, _cmd_load)
+    return _telemetry_wrap(args, _cmd_run)
 
 
 if __name__ == "__main__":  # pragma: no cover

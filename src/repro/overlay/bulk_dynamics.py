@@ -49,10 +49,12 @@ accounting, ring integrity).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.bulk_construction import bulk_harmonic_positions, merge_row_pairs
 from repro.core.theory import default_out_degree
 from repro.distributions import Distribution, Empirical
@@ -204,6 +206,14 @@ def _write_member_rows(
     return counts
 
 
+def _emit_bulk_span(name: str, started: float, cohort: int, **fields) -> None:
+    """Record one churn operation: a timer, a cohort counter, a trace event."""
+    seconds = time.perf_counter() - started
+    telemetry.timer_observe(f"overlay.{name}", seconds)
+    telemetry.count(f"overlay.{name}.peers", cohort)
+    telemetry.trace(f"overlay.{name}", cohort=cohort, seconds=seconds, **fields)
+
+
 def bulk_join(
     network: Network,
     ids: np.ndarray,
@@ -244,6 +254,8 @@ def bulk_join(
     m = len(ids)
     if m == 0:
         return report
+    tel_on = telemetry.enabled()
+    started = time.perf_counter() if tel_on else 0.0
     if not np.all(np.isfinite(ids)) or np.any((ids < 0.0) | (ids >= 1.0)):
         raise ValueError("cohort identifiers must lie in [0, 1)")
     order = np.argsort(ids, kind="stable")
@@ -283,6 +295,11 @@ def bulk_join(
     counts = _write_member_rows(network, slots, accepted, m, live)
     report.links_installed = int(counts.sum())
     report.rounds = rounds
+    if tel_on:
+        _emit_bulk_span(
+            "bulk_join", started, m,
+            links=report.links_installed, rounds=rounds,
+        )
     return report
 
 
@@ -311,7 +328,11 @@ def bulk_leave(network: Network, ids: np.ndarray) -> BulkReport:
     if not present.all():
         missing = float(leaving[~present][0])
         raise KeyError(f"peer {missing!r} not present")
+    tel_on = telemetry.enabled()
+    started = time.perf_counter() if tel_on else 0.0
     network._bulk_remove(leaving)
+    if tel_on:
+        _emit_bulk_span("bulk_leave", started, len(ids))
     return report
 
 
@@ -386,6 +407,8 @@ def bulk_repair(
         raise ValueError(f"fraction must be in (0, 1], got {fraction}")
     if cost_model not in ("ownership", "routed"):
         raise ValueError(f"unknown cost model {cost_model!r}")
+    tel_on = telemetry.enabled()
+    started = time.perf_counter() if tel_on else 0.0
     report = BulkReport(stale_purged=network._purge_free_slots())
     n = network.n
     if n == 0:
@@ -450,6 +473,13 @@ def bulk_repair(
                 live[new_keys % n],
             )
             report.lookup_hops = int(batch.hops.sum())
+    if tel_on:
+        _emit_bulk_span(
+            "bulk_repair", started, m,
+            links=report.links_installed,
+            dangling_dropped=report.dangling_dropped,
+            rounds=report.rounds,
+        )
     return report
 
 

@@ -23,6 +23,11 @@ class LookupStats:
         success_rate: fraction of lookups that reached the owner.
         mean_long_hops: mean hops taken over long-range links.
         mean_neighbor_hops: mean hops taken over ring/interval links.
+        reasons: termination-reason histogram.  Always carries the full
+            schema — every label in ``("arrived", "stuck", "max_hops")``
+            is present, zero counts included — so downstream consumers
+            (JSON reports, experiment tables) see a stable shape no
+            matter which terminations a batch happened to produce.
     """
 
     n: int
@@ -32,6 +37,7 @@ class LookupStats:
     success_rate: float
     mean_long_hops: float
     mean_neighbor_hops: float
+    reasons: dict[str, int] | None = None
 
 
 def summarize_lookups(results) -> LookupStats:
@@ -46,19 +52,31 @@ def summarize_lookups(results) -> LookupStats:
     Raises:
         ValueError: on an empty result list/batch.
     """
+    from repro.core.metric_routing import _REASON_LABELS
+
     if len(results) == 0:
         raise ValueError("no results to summarise")
+    # Seed the histogram with every label so the schema is stable even
+    # when a batch never produced that termination (all zeros counted).
+    reasons = {str(label): 0 for label in _REASON_LABELS}
     if isinstance(getattr(results, "hops", None), np.ndarray):
         # Batch result: columns are already arrays.
         hops = results.hops.astype(float)
         success = results.success.astype(float)
         long_hops = results.long_hops.astype(float)
         neighbor_hops = results.neighbor_hops.astype(float)
+        tally = np.bincount(results.reason_codes, minlength=len(_REASON_LABELS))
+        for code, label in enumerate(_REASON_LABELS):
+            reasons[str(label)] = int(tally[code])
     else:
         hops = np.asarray([r.hops for r in results], dtype=float)
         success = np.asarray([r.success for r in results], dtype=float)
         long_hops = np.asarray([r.long_hops for r in results], dtype=float)
         neighbor_hops = np.asarray([r.neighbor_hops for r in results], dtype=float)
+        for r in results:
+            # RouteResult and LookupResult both carry a reason label.
+            label = str(getattr(r, "reason", "arrived" if r.success else "stuck"))
+            reasons[label] = reasons.get(label, 0) + 1
     return LookupStats(
         n=len(results),
         mean_hops=float(hops.mean()),
@@ -67,6 +85,7 @@ def summarize_lookups(results) -> LookupStats:
         success_rate=float(success.mean()),
         mean_long_hops=float(long_hops.mean()),
         mean_neighbor_hops=float(neighbor_hops.mean()),
+        reasons=reasons,
     )
 
 

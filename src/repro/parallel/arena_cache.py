@@ -41,9 +41,17 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import telemetry
 from repro.parallel.shm import ArenaHandle, SharedArena, array_root
 
-__all__ = ["ArenaCache", "lease_arena", "clear", "stats"]
+__all__ = [
+    "ArenaCache",
+    "lease_arena",
+    "clear",
+    "stats",
+    "cache_stats",
+    "reset_stats",
+]
 
 
 class ArenaCache:
@@ -64,6 +72,7 @@ class ArenaCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(arrays: dict[str, np.ndarray]) -> tuple:
@@ -97,19 +106,25 @@ class ArenaCache:
                 if all(ref() is not None for ref in refs):
                     self._entries.move_to_end(key)
                     self.hits += 1
+                    telemetry.count("arena_cache.hits")
                     return arena.handle
                 # A buffer address in the key was recycled by the
                 # allocator after its owning root died; the match is
                 # coincidental, not a reuse of the same operand set.
                 del self._entries[key]
                 arena.close()
+                self.evictions += 1
+                telemetry.count("arena_cache.evictions")
             self.misses += 1
+            telemetry.count("arena_cache.misses")
             arena = SharedArena(arrays)
             refs = [weakref.ref(array_root(array)) for array in arrays.values()]
             self._entries[key] = (arena, refs)
             while len(self._entries) > self.capacity:
                 old_arena, _ = self._entries.popitem(last=False)[1]
                 old_arena.close()
+                self.evictions += 1
+                telemetry.count("arena_cache.evictions")
             return arena.handle
 
     def clear(self) -> None:
@@ -119,13 +134,33 @@ class ArenaCache:
         for arena, _ in entries.values():
             arena.close()
 
+    def cache_stats(self) -> dict[str, int]:
+        """Return this cache's lifetime counters and current size.
+
+        Keys: ``hits``, ``misses``, ``evictions``, ``live_entries``.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "live_entries": len(self._entries),
+            }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (entries stay cached)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def __repr__(self) -> str:
         return (
-            f"ArenaCache(entries={len(self._entries)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"ArenaCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
         )
 
 
@@ -146,6 +181,16 @@ def clear() -> None:
 def stats() -> tuple[int, int]:
     """Return the process-wide cache's ``(hits, misses)`` counters."""
     return _CACHE.hits, _CACHE.misses
+
+
+def cache_stats() -> dict[str, int]:
+    """Return the process-wide cache's stats (see :meth:`ArenaCache.cache_stats`)."""
+    return _CACHE.cache_stats()
+
+
+def reset_stats() -> None:
+    """Zero the process-wide cache's hit/miss/eviction counters."""
+    _CACHE.reset_stats()
 
 
 atexit.register(clear)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.adjacency import CSRAdjacency
 from repro.core.bulk_construction import bulk_links
 from repro.core.metric_routing import (
@@ -166,7 +167,7 @@ def _rebuild_metric(kind: str, params: dict, arrays: dict) -> RoutingMetric:
 # routing
 # ----------------------------------------------------------------------
 
-def _route_shard(job) -> BatchRouteResult:
+def _route_shard(job) -> tuple[BatchRouteResult, "telemetry.MetricsDelta | None"]:
     """Worker body: one shard of routes over the published frontier.
 
     The static operands (CSR + metric arrays) and the per-call liveness
@@ -174,25 +175,63 @@ def _route_shard(job) -> BatchRouteResult:
     (leased from the owner-side cache and reused across calls), while
     the alive arena changes every call and must not invalidate the
     worker's cached attachment of the static one.
+
+    Returns ``(result, delta)``: when the owner had telemetry enabled,
+    the shard runs under :func:`repro.telemetry.capture` (worker
+    processes never inherit the owner's enabled state across spawn) and
+    ships its accumulated metrics back for the owner-side merge;
+    otherwise ``delta`` is ``None``.
     """
     (
         arena, alive_arena, kind, params, sources, keys,
-        owners, targets, extra, max_hops, record_paths,
+        owners, targets, extra, max_hops, record_paths, tel_on,
     ) = job
-    arrays = arena_arrays(arena)
-    csr = CSRAdjacency(
-        indptr=arrays["csr:indptr"],
-        indices=arrays["csr:indices"],
-        is_long=arrays["csr:is_long"],
+
+    def run() -> BatchRouteResult:
+        arrays = arena_arrays(arena)
+        csr = CSRAdjacency(
+            indptr=arrays["csr:indptr"],
+            indices=arrays["csr:indices"],
+            is_long=arrays["csr:is_long"],
+        )
+        metric = _rebuild_metric(kind, params, arrays)
+        prepared = PreparedTargets(owners=owners, targets=targets, extra=extra)
+        alive = (
+            arena_arrays(alive_arena)["alive"] if alive_arena is not None else None
+        )
+        return frontier_route_many(
+            csr, metric, sources, keys,
+            alive=alive, max_hops=max_hops, record_paths=record_paths,
+            prepared=prepared,
+        )
+
+    if not tel_on:
+        return run(), None
+    with telemetry.capture() as box:
+        result = run()
+    return result, box.delta
+
+
+def _fold_shard_deltas(deltas: list) -> None:
+    """Merge per-shard metric deltas into the owner's registry.
+
+    Deltas fold in shard order (worker-count independent), so the merged
+    counters and P² quantile states are bit-identical for any worker
+    count; each shard's wall time is retained individually for
+    straggler analysis.  No-op when telemetry was disabled mid-flight.
+    """
+    deltas = [delta for delta in deltas if delta is not None]
+    registry = telemetry.active_registry()
+    if registry is None or not deltas:
+        return
+    merged = telemetry.merge_deltas(deltas)
+    telemetry.apply_delta(
+        merged,
+        registry,
+        shard_walls=[delta.wall_seconds for delta in deltas],
     )
-    metric = _rebuild_metric(kind, params, arrays)
-    prepared = PreparedTargets(owners=owners, targets=targets, extra=extra)
-    alive = arena_arrays(alive_arena)["alive"] if alive_arena is not None else None
-    return frontier_route_many(
-        csr, metric, sources, keys,
-        alive=alive, max_hops=max_hops, record_paths=record_paths,
-        prepared=prepared,
-    )
+    telemetry.count("parallel.dispatches")
+    telemetry.count("parallel.shards", len(deltas))
 
 
 def _merge_route_results(
@@ -266,10 +305,15 @@ def frontier_route_many_parallel(
     target_keys = np.ascontiguousarray(np.asarray(target_keys, dtype=float))
     ex = executor if executor is not None else get_executor(workers)
     bounds = shard_bounds(len(sources))
-    if ex.workers <= 1 or len(bounds) <= 1:
+    tel_on = telemetry.enabled()
+    if (ex.workers <= 1 or len(bounds) <= 1) and not tel_on:
         # Serial executors — and batches too small to split — skip the
         # arena machinery outright: byte-for-byte the same computation,
-        # minus publish/slice/merge overhead.
+        # minus publish/slice/merge overhead.  With telemetry enabled
+        # the serial executor runs the sharded path inline instead
+        # (identical results — shards are independent slices), so the
+        # per-shard metric deltas have the same worker-count-independent
+        # shard structure for every worker count, including 1.
         return frontier_route_many(
             csr, metric, sources, target_keys,
             alive=alive, max_hops=max_hops, record_paths=record_paths,
@@ -306,12 +350,16 @@ def frontier_route_many_parallel(
     # The static operands are stable per graph/overlay; the liveness
     # mask changes per call.  They travel in separate arenas so the
     # static one can be cached (owner side *and* worker side) while the
-    # alive arena keeps the publish-per-call lifecycle.
-    if reuse_arena:
-        handle = lease_arena(arrays)  # cache-owned; never released here
-    else:
-        handle = ex.publish(arrays)
-    alive_handle = ex.publish({"alive": alive}) if alive is not None else None
+    # alive arena keeps the publish-per-call lifecycle.  Serial
+    # executors hand plain dicts back from publish, so the telemetry-
+    # enabled inline path never touches shared memory.
+    leased = reuse_arena and ex.workers > 1
+    with telemetry.time_block("parallel.publish"):
+        if leased:
+            handle = lease_arena(arrays)  # cache-owned; never released here
+        else:
+            handle = ex.publish(arrays)
+        alive_handle = ex.publish({"alive": alive}) if alive is not None else None
     try:
         jobs = [
             (
@@ -319,17 +367,20 @@ def frontier_route_many_parallel(
                 sources[lo:hi], target_keys[lo:hi],
                 owners[lo:hi], targets[lo:hi],
                 None if extra is None else extra[lo:hi],
-                max_hops, record_paths,
+                max_hops, record_paths, tel_on,
             )
             for lo, hi in bounds
         ]
         parts = ex.map_shards(_route_shard, jobs)
     finally:
-        if not reuse_arena:
+        if not leased:
             ex.release(handle)
         if alive_handle is not None:
             ex.release(alive_handle)
-    return _merge_route_results(parts, sources, target_keys)
+    results = [result for result, _ in parts]
+    if tel_on:
+        _fold_shard_deltas([delta for _, delta in parts])
+    return _merge_route_results(results, sources, target_keys)
 
 
 def route_many_parallel(
@@ -431,13 +482,25 @@ def _bulk_block(
     return np.diff(indptr)[lo:hi], flat
 
 
-def _bulk_links_shard(job) -> tuple[np.ndarray, np.ndarray]:
-    """Worker body: one source block of the sharded link sampler."""
-    arena, k, cutoff, space, seed, dedupe, max_rounds, lo, hi = job
-    return _bulk_block(
-        arena_arrays(arena)["positions"],
-        k, cutoff, space, seed, dedupe, max_rounds, lo, hi,
-    )
+def _bulk_links_shard(job) -> tuple[np.ndarray, np.ndarray, object]:
+    """Worker body: one source block of the sharded link sampler.
+
+    Returns ``(block counts, flat, delta)`` — the metrics delta captures
+    the block's construction telemetry when the owner had telemetry on.
+    """
+    arena, k, cutoff, space, seed, dedupe, max_rounds, lo, hi, tel_on = job
+    if not tel_on:
+        counts, flat = _bulk_block(
+            arena_arrays(arena)["positions"],
+            k, cutoff, space, seed, dedupe, max_rounds, lo, hi,
+        )
+        return counts, flat, None
+    with telemetry.capture() as box:
+        counts, flat = _bulk_block(
+            arena_arrays(arena)["positions"],
+            k, cutoff, space, seed, dedupe, max_rounds, lo, hi,
+        )
+    return counts, flat, box.delta
 
 
 def bulk_links_parallel(
@@ -489,6 +552,8 @@ def bulk_links_parallel(
 
     ex = executor if executor is not None else get_executor(workers)
     if ex.workers <= 1 or len(bounds) <= 1:
+        # Inline blocks run in the owner process, so their construction
+        # telemetry lands in the active registry directly.
         parts = [
             _bulk_block(
                 positions, k, cutoff, space, seeds[i], dedupe, max_rounds, lo, hi
@@ -496,15 +561,23 @@ def bulk_links_parallel(
             for i, (lo, hi) in enumerate(bounds)
         ]
     else:
-        handle = ex.publish({"positions": positions})
+        tel_on = telemetry.enabled()
+        with telemetry.time_block("parallel.publish"):
+            handle = ex.publish({"positions": positions})
         try:
             jobs = [
-                (handle, k, cutoff, space, seeds[i], dedupe, max_rounds, lo, hi)
+                (
+                    handle, k, cutoff, space, seeds[i], dedupe, max_rounds,
+                    lo, hi, tel_on,
+                )
                 for i, (lo, hi) in enumerate(bounds)
             ]
-            parts = ex.map_shards(_bulk_links_shard, jobs)
+            shard_parts = ex.map_shards(_bulk_links_shard, jobs)
         finally:
             ex.release(handle)
+        parts = [(part_counts, part_flat) for part_counts, part_flat, _ in shard_parts]
+        if tel_on:
+            _fold_shard_deltas([delta for _, _, delta in shard_parts])
 
     counts = np.concatenate([part_counts for part_counts, _ in parts])
     indptr = np.zeros(n + 1, dtype=np.int64)

@@ -100,13 +100,17 @@ class ShardedExecutor:
         Inline (this process) when the executor is serial or there is
         only one payload; otherwise on the worker pool.  ``fn`` and the
         payloads must be picklable module-level objects on the pooled
-        path — the dispatch module's shard functions are.
+        path — the dispatch module's shard functions are.  The whole
+        fan-out is timed into the ``parallel.execute`` telemetry timer.
         """
+        from repro import telemetry
+
         payloads = list(payloads)
-        if self.workers <= 1 or len(payloads) <= 1:
-            return [fn(payload) for payload in payloads]
-        pool = self._ensure_pool()
-        return list(pool.map(fn, payloads))
+        with telemetry.time_block("parallel.execute"):
+            if self.workers <= 1 or len(payloads) <= 1:
+                return [fn(payload) for payload in payloads]
+            pool = self._ensure_pool()
+            return list(pool.map(fn, payloads))
 
     def warm(self) -> "ShardedExecutor":
         """Spawn the worker processes now (e.g. before a timed region)."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import secrets
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -226,10 +227,16 @@ def attach_arena(handle: ArenaHandle) -> dict[str, np.ndarray]:
     memory.  Treat the views as read-only — they are shared with the
     owner and every sibling worker.
     """
+    from repro import telemetry
+
     cached = _ATTACHED.get(handle.token)
     if cached is not None:
         _ATTACHED.move_to_end(handle.token)
         return cached[1]
+    # Timed as a timer (not a counter): attach counts depend on the
+    # worker count via the per-process attachment cache, and only
+    # counters are under the shard-merge bit-identity contract.
+    attach_started = time.perf_counter() if telemetry.enabled() else 0.0
     segments: list[shared_memory.SharedMemory] = []
     arrays: dict[str, np.ndarray] = {}
     for spec in handle.specs:
@@ -246,6 +253,10 @@ def attach_arena(handle: ArenaHandle) -> dict[str, np.ndarray]:
         segments.append(seg)
         arrays[spec.key] = np.ndarray(
             spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf
+        )
+    if telemetry.enabled():
+        telemetry.timer_observe(
+            "parallel.attach", time.perf_counter() - attach_started
         )
     _ATTACHED[handle.token] = (segments, arrays)
     while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:

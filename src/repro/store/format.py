@@ -168,4 +168,7 @@ def open_array(
 
 def open_arrays(path: str | os.PathLike, manifest: dict) -> dict[str, np.ndarray]:
     """Memory-map every declared array read-only (see :func:`open_array`)."""
-    return {key: open_array(path, manifest, key) for key in manifest["arrays"]}
+    from repro import telemetry
+
+    with telemetry.time_block("store.mmap_attach"):
+        return {key: open_array(path, manifest, key) for key in manifest["arrays"]}

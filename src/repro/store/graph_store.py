@@ -85,6 +85,7 @@ def save_graph(graph: SmallWorldGraph, path: str | os.PathLike) -> None:
         StoreError: for a key space outside the shipped interval/ring
             geometries.
     """
+    from repro import telemetry
     from repro.store.format import StoreError
 
     if graph.space.name not in _SPACES:
@@ -92,23 +93,24 @@ def save_graph(graph: SmallWorldGraph, path: str | os.PathLike) -> None:
             f"cannot persist graphs over key space {graph.space.name!r}"
         )
     csr = graph.adjacency
-    write_snapshot(
-        path,
-        "graph",
-        payload={
-            "n": graph.n,
-            "space": graph.space.name,
-            "model": graph.model,
-            "cutoff_mass": float(graph.cutoff_mass),
-        },
-        arrays={
-            "ids": graph.ids,
-            "normalized_ids": graph.normalized_ids,
-            "indptr": csr.indptr,
-            "indices": csr.indices,
-            "is_long": csr.is_long,
-        },
-    )
+    with telemetry.time_block("store.save_graph"):
+        write_snapshot(
+            path,
+            "graph",
+            payload={
+                "n": graph.n,
+                "space": graph.space.name,
+                "model": graph.model,
+                "cutoff_mass": float(graph.cutoff_mass),
+            },
+            arrays={
+                "ids": graph.ids,
+                "normalized_ids": graph.normalized_ids,
+                "indptr": csr.indptr,
+                "indices": csr.indices,
+                "is_long": csr.is_long,
+            },
+        )
 
 
 def load_graph(
@@ -129,9 +131,12 @@ def load_graph(
     Raises:
         StoreError: missing/corrupt snapshot or version/kind mismatch.
     """
-    manifest = read_manifest(path, kind="graph")
-    payload = manifest["payload"]
-    arrays = open_arrays(path, manifest)
+    from repro import telemetry
+
+    with telemetry.time_block("store.load_graph"):
+        manifest = read_manifest(path, kind="graph")
+        payload = manifest["payload"]
+        arrays = open_arrays(path, manifest)
     space = space_from_name(payload["space"])
     csr = CSRAdjacency(
         indptr=arrays["indptr"],

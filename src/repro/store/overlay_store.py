@@ -241,6 +241,8 @@ def save_overlay(overlay: BaselineOverlay, path: str | os.PathLike) -> None:
         StoreError: for overlays whose metric the codec cannot persist
             (see :func:`_encode_store_metric`).
     """
+    from repro import telemetry
+
     csr = overlay.to_csr()
     kind, params, metric_arrays = _encode_store_metric(overlay.metric)
     arrays = {
@@ -256,16 +258,17 @@ def save_overlay(overlay: BaselineOverlay, path: str | os.PathLike) -> None:
         ids = getattr(overlay, "keys", None)
     if ids is not None:
         arrays["ids"] = np.asarray(ids, dtype=float)
-    write_snapshot(
-        path,
-        "overlay",
-        payload={
-            "overlay": overlay.name,
-            "n": overlay.n,
-            "metric": {"kind": kind, "params": params},
-        },
-        arrays=arrays,
-    )
+    with telemetry.time_block("store.save_overlay"):
+        write_snapshot(
+            path,
+            "overlay",
+            payload={
+                "overlay": overlay.name,
+                "n": overlay.n,
+                "metric": {"kind": kind, "params": params},
+            },
+            arrays=arrays,
+        )
 
 
 def load_overlay(path: str | os.PathLike) -> LoadedOverlay:
@@ -276,9 +279,12 @@ def load_overlay(path: str | os.PathLike) -> LoadedOverlay:
     Raises:
         StoreError: missing/corrupt snapshot or version/kind mismatch.
     """
-    manifest = read_manifest(path, kind="overlay")
-    payload = manifest["payload"]
-    arrays = open_arrays(path, manifest)
+    from repro import telemetry
+
+    with telemetry.time_block("store.load_overlay"):
+        manifest = read_manifest(path, kind="overlay")
+        payload = manifest["payload"]
+        arrays = open_arrays(path, manifest)
     csr = CSRAdjacency(
         indptr=arrays["indptr"],
         indices=arrays["indices"],

@@ -1,0 +1,156 @@
+"""Exports: JSONL event sink, Prometheus-style exposition, summary table.
+
+Three consumers, three formats:
+
+* **Dashboards / log pipelines** — :class:`JsonlSink` streams every
+  trace event as one JSON line while attached, and
+  :func:`write_jsonl` dumps the buffered events plus a final
+  ``metrics_snapshot`` line (the full registry state) to a path;
+* **Scrapers** — :func:`render_text` emits the registry in the
+  Prometheus text exposition format (``repro_``-prefixed, dots
+  mangled to underscores, timers as ``_count``/``_sum`` pairs,
+  quantile estimates labelled);
+* **Humans** — :func:`summary_table` renders the aligned ASCII table
+  the CLI's ``--telemetry`` flag prints after a run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry.registry import Registry
+
+__all__ = ["JsonlSink", "write_jsonl", "render_text", "summary_table"]
+
+
+class JsonlSink:
+    """Streams trace events to a file, one JSON object per line.
+
+    Attach via :func:`repro.telemetry.enable`'s ``jsonl`` argument; the
+    sink owns the file handle and flushes on :meth:`close`, which also
+    appends the final registry snapshot line.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._fh = open(self.path, "w", encoding="utf-8")
+
+    def emit(self, event) -> None:
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+
+    def close(self, registry: Registry | None = None) -> None:
+        """Flush and close, appending ``registry``'s snapshot if given."""
+        if self._fh.closed:
+            return
+        if registry is not None:
+            self._fh.write(
+                json.dumps(
+                    {"event": "metrics_snapshot", **registry.snapshot()},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        self._fh.close()
+
+
+def write_jsonl(path: str | os.PathLike, registry: Registry) -> int:
+    """Dump buffered events + the metrics snapshot to ``path`` as JSONL.
+
+    The post-hoc twin of :class:`JsonlSink` for runs that did not stream:
+    every buffered :class:`~repro.telemetry.tracing.TraceEvent` becomes
+    one line, followed by one ``metrics_snapshot`` line.
+
+    Returns:
+        The number of lines written.
+    """
+    lines = 0
+    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+        for event in registry.events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            lines += 1
+        fh.write(
+            json.dumps(
+                {"event": "metrics_snapshot", **registry.snapshot()}, sort_keys=True
+            )
+            + "\n"
+        )
+        lines += 1
+    return lines
+
+
+def _mangle(name: str) -> str:
+    """Dotted instrument name → Prometheus metric name."""
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def render_text(registry: Registry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    out: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _mangle(name) + "_total"
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric} {counter.value}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _mangle(name)
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {gauge.value}")
+    for name, timer in sorted(registry.timers.items()):
+        metric = _mangle(name) + "_seconds"
+        out.append(f"# TYPE {metric} summary")
+        out.append(f"{metric}_count {timer.count}")
+        out.append(f"{metric}_sum {timer.total}")
+        if timer.count:
+            out.append(f'{metric}{{stat="min"}} {timer.min}')
+            out.append(f'{metric}{{stat="max"}} {timer.max}')
+    for name, quantile in sorted(registry.quantiles.items()):
+        if not quantile.count:
+            continue
+        metric = _mangle(name)
+        out.append(f"# TYPE {metric} summary")
+        out.append(f"{metric}_count {quantile.count}")
+        for p, value in quantile.quantiles().items():
+            out.append(f'{metric}{{quantile="{p:g}"}} {value}')
+    return "\n".join(out) + "\n"
+
+
+def summary_table(registry: Registry) -> str:
+    """Render the registry as the aligned ASCII summary the CLI prints."""
+    rows: list[tuple[str, str, str]] = []
+    for name, counter in sorted(registry.counters.items()):
+        rows.append((name, "counter", f"{counter.value:g}"))
+    for name, gauge in sorted(registry.gauges.items()):
+        rows.append((name, "gauge", f"{gauge.value:g}"))
+    for name, timer in sorted(registry.timers.items()):
+        if not timer.count:
+            continue
+        rows.append(
+            (
+                name,
+                "timer",
+                f"n={timer.count} total={timer.total:.4f}s "
+                f"mean={timer.mean * 1e3:.3f}ms "
+                f"min={timer.min * 1e3:.3f}ms max={timer.max * 1e3:.3f}ms",
+            )
+        )
+    for name, quantile in sorted(registry.quantiles.items()):
+        if not quantile.count:
+            continue
+        estimates = " ".join(
+            f"p{p * 100:g}={value:.2f}" for p, value in quantile.quantiles().items()
+        )
+        rows.append((name, "quantile", f"n={quantile.count} {estimates}"))
+    if not rows:
+        return "telemetry: no metrics recorded\n"
+    name_width = max(len(name) for name, _, _ in rows)
+    kind_width = max(len(kind) for _, kind, _ in rows)
+    lines = [
+        f"{'metric':<{name_width}}  {'type':<{kind_width}}  value",
+        f"{'-' * name_width}  {'-' * kind_width}  {'-' * 5}",
+    ]
+    lines.extend(
+        f"{name:<{name_width}}  {kind:<{kind_width}}  {value}"
+        for name, kind, value in rows
+    )
+    lines.append(f"(trace events buffered: {len(registry.events)})")
+    return "\n".join(lines) + "\n"

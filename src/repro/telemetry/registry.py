@@ -1,0 +1,447 @@
+"""Process-local metric primitives: counters, gauges, timers, quantiles.
+
+The registry is the storage layer of :mod:`repro.telemetry`: a flat map
+of dotted instrument names (``"routing.reason.arrived"``,
+``"parallel.shard_wall"``) to one of four primitive types:
+
+* :class:`Counter` — monotonically increasing totals (walks routed,
+  cache hits, frontier rounds);
+* :class:`Gauge` — last-written values (live cache entries, shard
+  counts);
+* :class:`Timer` — accumulated durations with count/total/min/max, fed
+  by ``perf_counter`` spans;
+* :class:`P2Quantile` — a streaming percentile estimator (the extended
+  P² algorithm of Jain & Chlamtac, 1985) over an arbitrary probability
+  grid, with a batched update path for whole hop/latency arrays and a
+  deterministic state merge for the shard-merge layer
+  (:mod:`repro.telemetry.shard_merge`).
+
+Everything here is dependency-free (numpy only) and never touched on
+the disabled fast path — the module-level helpers in
+:mod:`repro.telemetry` return before reaching the registry when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "P2Quantile",
+    "Registry",
+    "DEFAULT_QUANTILE_PROBS",
+]
+
+#: Interior probabilities tracked by default — the percentile set the
+#: serving arc's SLO reporting reads (p50/p90/p95/p99/p999).
+DEFAULT_QUANTILE_PROBS = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999)
+
+#: Marker-adjustment sweeps allowed per absorbed sub-batch.  Each sweep
+#: moves every interior marker the full (neighbour-clamped) distance to
+#: its desired position, so convergence typically takes one or two
+#: sweeps; the cap bounds the Python work per batch while staying a pure
+#: function of the data (determinism requires no wall-clock-dependent
+#: early exits).
+_MAX_SWEEPS = 8
+
+#: Batched observations are absorbed in sub-batches of this size so the
+#: marker lattice adjusts incrementally instead of once at the end.
+_SUB_BATCH = 1024
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Timer:
+    """Accumulated durations in seconds: count, total, min, max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean observed duration (0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Timer") -> None:
+        """Fold another timer's accumulations into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def state(self) -> tuple:
+        """Serializable ``(count, total, min, max)`` snapshot."""
+        return (self.count, self.total, self.min, self.max)
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "Timer":
+        timer = cls()
+        timer.count, timer.total, timer.min, timer.max = state
+        return timer
+
+    def __repr__(self) -> str:
+        return (
+            f"Timer(count={self.count}, total={self.total:.6f}, "
+            f"mean={self.mean:.6f})"
+        )
+
+
+class P2Quantile:
+    """Streaming percentile estimator over an arbitrary probability grid.
+
+    The extended P² algorithm: one marker per tracked probability (plus
+    the min/max endpoints) whose heights converge to the quantile values
+    via piecewise-parabolic interpolation — O(1) memory, O(markers) per
+    observation, no sample retention.  Until the marker lattice fills
+    (``len(probs) + 2`` observations) samples are buffered verbatim and
+    quantile queries fall back to exact empirical quantiles.
+
+    Two extensions over the textbook single-observation update:
+
+    * :meth:`observe_batch` absorbs whole arrays (per-batch hop columns,
+      latency vectors) by bulk-incrementing marker positions with one
+      ``searchsorted``/``bincount`` pass per sub-batch, then running the
+      standard marker-adjustment rule in bounded sweeps.  The result is
+      a pure function of the input array — the property the shard-merge
+      determinism gate relies on.
+    * :meth:`merge` folds another estimator's state in deterministically
+      (exact while either side is still buffering; weighted marker
+      replay afterwards), so per-shard estimators combine into one
+      coherent view in shard order.
+
+    Args:
+        probs: strictly increasing interior probabilities in ``(0, 1)``.
+
+    Raises:
+        ValueError: for an empty, non-increasing or out-of-range grid.
+    """
+
+    __slots__ = ("probs", "n_markers", "count", "_heights", "_positions", "_buffer")
+
+    def __init__(self, probs: tuple[float, ...] = DEFAULT_QUANTILE_PROBS):
+        probs = tuple(float(p) for p in probs)
+        if not probs:
+            raise ValueError("probs must be non-empty")
+        if any(not 0.0 < p < 1.0 for p in probs):
+            raise ValueError(f"probs must lie in (0, 1), got {probs}")
+        if any(b <= a for a, b in zip(probs, probs[1:])):
+            raise ValueError(f"probs must be strictly increasing, got {probs}")
+        self.probs = np.concatenate(([0.0], probs, [1.0]))
+        self.n_markers = len(self.probs)
+        self.count = 0
+        self._heights: np.ndarray | None = None
+        self._positions: np.ndarray | None = None
+        self._buffer: list[float] = []
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Fold a single observation into the estimator."""
+        self.observe_batch(np.asarray([value], dtype=float))
+
+    def observe_batch(self, values) -> None:
+        """Fold an array of observations into the estimator.
+
+        Deterministic: the post-state is a pure function of the prior
+        state and ``values`` (in order).
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        self.count += int(values.size)
+        if self._heights is None:
+            take = self.n_markers - len(self._buffer)
+            self._buffer.extend(float(v) for v in values[:take])
+            values = values[take:]
+            if len(self._buffer) < self.n_markers:
+                return
+            self._heights = np.sort(np.asarray(self._buffer, dtype=float))
+            self._positions = np.arange(1.0, self.n_markers + 1.0)
+            self._buffer = []
+            if values.size == 0:
+                return
+        for lo in range(0, len(values), _SUB_BATCH):
+            self._absorb(values[lo : lo + _SUB_BATCH])
+
+    def _absorb(self, values: np.ndarray) -> None:
+        """Bulk-update marker positions for one sub-batch, then adjust."""
+        heights, positions = self._heights, self._positions
+        low = float(values.min())
+        high = float(values.max())
+        if low < heights[0]:
+            heights[0] = low
+        if high > heights[-1]:
+            heights[-1] = high
+        # Each sample lands in the cell left of its insertion point and
+        # bumps the observed count of every marker above that cell —
+        # exactly the textbook per-sample rule, applied in one pass.
+        cells = np.clip(
+            np.searchsorted(heights, values, side="right") - 1, 0, self.n_markers - 2
+        )
+        positions += np.cumsum(np.bincount(cells + 1, minlength=self.n_markers))
+        self._adjust()
+
+    def _adjust(self) -> None:
+        """Move interior markers toward their desired positions.
+
+        The textbook rule moves a marker one position per observation;
+        after a bulk position update a marker can trail its desired
+        position by most of a sub-batch, so each sweep here moves it the
+        *whole* integer distance at once, clamped to keep the marker
+        strictly between its neighbours (the parabolic predictor takes
+        the generalised step; its height stays bracketed either way).
+        Sweeps repeat until no marker moves — convergence is typically
+        immediate because one sweep removes each marker's entire lag —
+        capped at :data:`_MAX_SWEEPS` per absorbed sub-batch.
+        """
+        heights, positions = self._heights, self._positions
+        desired = 1.0 + self.probs * (positions[-1] - 1.0)
+        for _ in range(_MAX_SWEEPS):
+            moved = False
+            for i in range(1, self.n_markers - 1):
+                delta = desired[i] - positions[i]
+                if delta >= 1.0 and positions[i + 1] - positions[i] > 1.0:
+                    step = min(int(delta), int(positions[i + 1] - positions[i]) - 1)
+                elif delta <= -1.0 and positions[i] - positions[i - 1] > 1.0:
+                    step = -min(int(-delta), int(positions[i] - positions[i - 1]) - 1)
+                else:
+                    continue
+                candidate = self._parabolic(i, float(step))
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, float(step))
+                positions[i] += step
+                moved = True
+            if not moved:
+                break
+
+    def _parabolic(self, i: int, step: float) -> float:
+        """Piecewise-parabolic height prediction for marker ``i``."""
+        h, n = self._heights, self._positions
+        term_a = (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+        term_b = (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        return h[i] + step * (term_a + term_b) / (n[i + 1] - n[i - 1])
+
+    def _linear(self, i: int, step: float) -> float:
+        """Linear interpolation toward the neighbour in the step direction
+        (the fallback when the parabolic prediction leaves the bracket)."""
+        h, n = self._heights, self._positions
+        j = i + (1 if step > 0 else -1)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def quantile(self, p: float) -> float:
+        """Estimate the ``p``-quantile by interpolating the marker grid.
+
+        Raises:
+            ValueError: before any observation, or for ``p`` outside
+                ``[0, 1]``.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        if self.count == 0:
+            raise ValueError("no observations yet")
+        if self._heights is None:
+            return float(np.quantile(np.asarray(self._buffer), p))
+        return float(np.interp(p, self.probs, self._heights))
+
+    def quantiles(self) -> dict[float, float]:
+        """Estimates for every tracked interior probability."""
+        return {float(p): self.quantile(float(p)) for p in self.probs[1:-1]}
+
+    # ------------------------------------------------------------------
+    # state / merge
+    # ------------------------------------------------------------------
+    def state(self) -> tuple:
+        """Serializable, comparable snapshot of the full estimator state."""
+        return (
+            tuple(float(p) for p in self.probs),
+            None if self._heights is None else tuple(float(h) for h in self._heights),
+            None
+            if self._positions is None
+            else tuple(float(x) for x in self._positions),
+            tuple(self._buffer),
+            self.count,
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "P2Quantile":
+        probs, heights, positions, buffer, count = state
+        estimator = cls(probs=tuple(probs[1:-1]))
+        estimator._heights = None if heights is None else np.asarray(heights, float)
+        estimator._positions = (
+            None if positions is None else np.asarray(positions, float)
+        )
+        estimator._buffer = list(buffer)
+        estimator.count = count
+        return estimator
+
+    def merge(self, other: "P2Quantile") -> None:
+        """Fold ``other``'s state into this estimator, deterministically.
+
+        Exact whenever either side is still buffering raw samples;
+        otherwise ``other``'s markers are replayed as weighted
+        pseudo-samples (each marker carries the integer observation mass
+        of its position gap, which the P² update keeps integral), giving
+        a deterministic approximate combination.  Used by the owner-side
+        shard merge, which folds per-shard estimators in shard order.
+
+        Raises:
+            ValueError: when the probability grids differ.
+        """
+        if self.n_markers != other.n_markers or not np.array_equal(
+            self.probs, other.probs
+        ):
+            raise ValueError("cannot merge estimators over different grids")
+        if other.count == 0:
+            return
+        if other._heights is None:
+            self.observe_batch(np.asarray(other._buffer, dtype=float))
+            return
+        if self._heights is None and not self._buffer:
+            # Adopt the other state wholesale — exact, and the common
+            # case for the owner's fresh fold accumulator.
+            self._heights = other._heights.copy()
+            self._positions = other._positions.copy()
+            self.count = other.count
+            return
+        # Weighted replay: marker i carries the mass that accumulated
+        # between its neighbour's position and its own.
+        weights = np.diff(np.concatenate(([0.0], other._positions))).astype(np.int64)
+        replay = np.repeat(other._heights, np.maximum(weights, 0))
+        self.observe_batch(replay)
+        # repeat() replays exactly other.count samples (positions end at
+        # the count), so self.count is already consistent.
+
+    def __repr__(self) -> str:
+        return f"P2Quantile(markers={self.n_markers}, count={self.count})"
+
+
+class Registry:
+    """A flat, lazily-populated map of instrument names to primitives.
+
+    Instruments are created on first use; name collisions across types
+    raise.  Creation is locked; hot-path updates rely on CPython's
+    atomic attribute operations (single additions) and are deliberately
+    lock-free.
+
+    Args:
+        max_events: bound on the trace-event buffer (oldest dropped).
+    """
+
+    def __init__(self, max_events: int = 65536):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.timers: dict[str, Timer] = {}
+        self.quantiles: dict[str, P2Quantile] = {}
+        self.events: deque = deque(maxlen=max_events)
+        self.sink = None  # streaming event sink (see telemetry.export)
+        self._lock = threading.Lock()
+
+    def _get(self, table: dict, name: str, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(name, factory())
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self.counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self.gauges, name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(self.timers, name, Timer)
+
+    def quantile(
+        self, name: str, probs: tuple[float, ...] = DEFAULT_QUANTILE_PROBS
+    ) -> P2Quantile:
+        return self._get(self.quantiles, name, lambda: P2Quantile(probs))
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (for JSON export)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "timers": {
+                name: {
+                    "count": t.count,
+                    "total": t.total,
+                    "mean": t.mean,
+                    "min": t.min if t.count else 0.0,
+                    "max": t.max,
+                }
+                for name, t in sorted(self.timers.items())
+            },
+            "quantiles": {
+                name: {
+                    "count": q.count,
+                    **{f"p{p * 100:g}": v for p, v in q.quantiles().items()},
+                }
+                for name, q in sorted(self.quantiles.items())
+                if q.count
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Registry(counters={len(self.counters)}, gauges={len(self.gauges)}, "
+            f"timers={len(self.timers)}, quantiles={len(self.quantiles)}, "
+            f"events={len(self.events)})"
+        )

@@ -140,6 +140,45 @@ class TestArenaCache:
         with pytest.raises(ValueError, match="capacity"):
             ArenaCache(capacity=0)
 
+    def test_cache_stats_counts_hits_misses_evictions(self, rng):
+        cache = ArenaCache(capacity=1)
+        arrays = _operands(rng)
+        cache.lease(arrays)          # miss
+        cache.lease(arrays)          # hit
+        cache.lease(_operands(rng))  # miss + LRU eviction of the first
+        stats = cache.cache_stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 2,
+            "evictions": 1,
+            "live_entries": 1,
+        }
+        cache.clear()
+
+    def test_reset_stats_keeps_entries(self, rng):
+        cache = ArenaCache(capacity=2)
+        arrays = _operands(rng)
+        handle = cache.lease(arrays)
+        cache.reset_stats()
+        stats = cache.cache_stats()
+        assert (stats["hits"], stats["misses"], stats["evictions"]) == (0, 0, 0)
+        assert stats["live_entries"] == 1
+        # The cached arena survived the counter reset.
+        assert cache.lease(arrays).token == handle.token
+        assert cache.cache_stats()["hits"] == 1
+        cache.clear()
+
+    def test_module_level_cache_stats(self, rng):
+        cache_mod.reset_stats()
+        before = cache_mod.cache_stats()
+        arrays = _operands(rng)
+        handle = lease_arena(arrays)
+        assert lease_arena(arrays).token == handle.token
+        after = cache_mod.cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"] + 1
+        cache_mod.clear()
+
 
 class TestFileBackedSpecs:
     def test_loaded_arrays_publish_without_copy(self, loaded_graph):
