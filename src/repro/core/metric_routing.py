@@ -80,6 +80,7 @@ __all__ = [
     "LatticeMetric",
     "torus_points",
     "torus_zone_lookup",
+    "StreamFrontier",
     "frontier_route_many",
     "REASON_ARRIVED",
     "REASON_STUCK",
@@ -676,6 +677,338 @@ class LatticeMetric(RoutingMetric):
         return self._index_distance(candidates, state.owners[walks][:, None])
 
 
+class StreamFrontier:
+    """Resident routing frontier: walks join and leave continuously.
+
+    The walk bookkeeping of :func:`frontier_route_many`, factored into
+    an object whose admission is an *operation* instead of a
+    precondition.  :meth:`admit` places new walks into free slots of the
+    resident state arrays (growing them when needed), :meth:`step`
+    advances every active walk one hop under the metric — exactly one
+    kernel round — and returns the slots that retired this round;
+    :meth:`release` hands retired slots back for reuse, which is what
+    lets a serving loop (:mod:`repro.serving`) keep a bounded frontier
+    alive under an unbounded query stream.
+
+    Because walks are independent, a walk's trajectory depends only on
+    its own ``(source, target)`` and the graph — never on which other
+    walks share the frontier — so a stream admitted in arbitrary
+    micro-batches retires with outcomes identical to the same pairs
+    routed as one batch.  :func:`frontier_route_many` is the degenerate
+    driver: admit everything once, step until the frontier drains.
+
+    Slot state is exposed column-wise (``current``, ``hops``,
+    ``success``, ``reason_codes``, ...); :meth:`take` gathers one
+    retired cohort's columns.  Path recording is supported only while
+    no slot has been released (a reused slot would splice two walks'
+    paths together), which the batch driver satisfies by construction.
+    """
+
+    def __init__(
+        self,
+        csr: CSRAdjacency,
+        metric: RoutingMetric,
+        alive: np.ndarray | None = None,
+        max_hops: int | None = None,
+        record_paths: bool = False,
+        capacity: int = 1024,
+    ):
+        self.csr = csr
+        self.metric = metric
+        self.alive = None if alive is None else np.asarray(alive, dtype=bool)
+        self.max_hops = csr.n if max_hops is None else max_hops
+        self.record_paths = record_paths
+        self.rounds = 0
+        self.active_count = 0
+        cap = max(int(capacity), 1)
+        self.current = np.zeros(cap, dtype=np.int64)
+        self.owners = np.zeros(cap, dtype=np.int64)
+        self.current_score = np.zeros(cap, dtype=float)
+        self.hops = np.zeros(cap, dtype=np.int64)
+        self.neighbor_hops = np.zeros(cap, dtype=np.int64)
+        self.long_hops = np.zeros(cap, dtype=np.int64)
+        self.reason_codes = np.full(cap, REASON_ARRIVED, dtype=np.int8)
+        self.success = np.zeros(cap, dtype=bool)
+        self.active = np.zeros(cap, dtype=bool)
+        self.tickets = np.full(cap, -1, dtype=np.int64)
+        self._targets: np.ndarray | None = None
+        self._extra: np.ndarray | None = None
+        self._state: PreparedTargets | None = None
+        self._free: list[int] = []
+        self._next_slot = 0
+        self._released = False
+        self._step_walks: list[np.ndarray] = []
+        self._step_nodes: list[np.ndarray] = []
+
+    @property
+    def capacity(self) -> int:
+        """Current slot capacity of the resident arrays."""
+        return len(self.current)
+
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+    def _grow(self, cap: int) -> None:
+        old = self.capacity
+        for name in (
+            "current", "owners", "current_score", "hops", "neighbor_hops",
+            "long_hops", "reason_codes", "success", "active", "tickets",
+        ):
+            arr = getattr(self, name)
+            grown = np.zeros(cap, dtype=arr.dtype)
+            grown[:old] = arr
+            setattr(self, name, grown)
+        self.reason_codes[old:] = REASON_ARRIVED
+        self.tickets[old:] = -1
+        if self._targets is not None:
+            grown = np.zeros(
+                (cap,) + self._targets.shape[1:], dtype=self._targets.dtype
+            )
+            grown[:old] = self._targets
+            self._targets = grown
+        if self._extra is not None:
+            grown = np.zeros((cap,) + self._extra.shape[1:], dtype=self._extra.dtype)
+            grown[:old] = self._extra
+            self._extra = grown
+        self._state = None  # rebound lazily against the grown arrays
+
+    def _alloc(self, m: int) -> np.ndarray:
+        slots = np.empty(m, dtype=np.int64)
+        reused = min(m, len(self._free))
+        for i in range(reused):
+            slots[i] = self._free.pop()
+        fresh = m - reused
+        if fresh:
+            if self._next_slot + fresh > self.capacity:
+                self._grow(max(self.capacity * 2, self._next_slot + fresh))
+            slots[reused:] = np.arange(
+                self._next_slot, self._next_slot + fresh, dtype=np.int64
+            )
+            self._next_slot += fresh
+        return slots
+
+    def release(self, slots: np.ndarray) -> None:
+        """Return retired slots to the free pool for future admissions.
+
+        Raises:
+            ValueError: when path recording is on (a reused slot would
+                splice two walks' paths) or a slot is still active.
+        """
+        if len(slots) == 0:
+            return
+        if self.record_paths:
+            raise ValueError("cannot release slots while recording paths")
+        if self.active[slots].any():
+            raise ValueError("cannot release slots that are still active")
+        self._released = True
+        self.tickets[slots] = -1
+        self._free.extend(int(s) for s in slots)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _ensure_payload(self, targets: np.ndarray, extra) -> None:
+        cap = self.capacity
+        if self._targets is None:
+            self._targets = np.zeros(
+                (cap,) + targets.shape[1:], dtype=targets.dtype
+            )
+        if extra is not None and self._extra is None:
+            extra = np.asarray(extra)
+            self._extra = np.zeros((cap,) + extra.shape[1:], dtype=extra.dtype)
+
+    def admit(
+        self,
+        sources: np.ndarray,
+        prepared: PreparedTargets,
+        tickets: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Admit one cohort of walks into the resident frontier.
+
+        Walks whose source already owns their key complete on admission
+        (``success`` with zero hops) and never enter the active set —
+        exactly the batch kernel's pre-loop arrival check.  The caller
+        reads completions off the returned slots wherever
+        ``active[slots]`` is already ``False``.
+
+        Args:
+            sources: int array of originating peers (must all be live).
+            prepared: this cohort's :class:`PreparedTargets`, aligned
+                with ``sources``.
+            tickets: optional caller-side int64 labels stored per slot
+                (a serving loop's query sequence numbers).
+
+        Returns:
+            The slot index of each admitted walk, aligned with
+            ``sources``.
+
+        Raises:
+            ValueError: on misaligned inputs or an out-of-range or dead
+                source peer.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        m = len(sources)
+        owners = np.asarray(prepared.owners, dtype=np.int64)
+        if len(owners) != m:
+            raise ValueError(
+                f"prepared targets hold {len(owners)} owners for {m} walks"
+            )
+        if m and (sources.min() < 0 or sources.max() >= self.csr.n):
+            bad = sources[(sources < 0) | (sources >= self.csr.n)][0]
+            raise ValueError(
+                f"source index {bad} out of range for {self.csr.n} peers"
+            )
+        if self.alive is not None and m and not self.alive[sources].all():
+            bad = sources[~self.alive[sources]][0]
+            raise ValueError(f"source peer {bad} is not alive")
+        if self.record_paths and self._released:
+            raise ValueError("cannot admit into released slots while recording paths")
+        slots = self._alloc(m)
+        targets = np.asarray(prepared.targets)
+        self._ensure_payload(targets, prepared.extra)
+        self._targets[slots] = targets
+        if prepared.extra is not None:
+            self._extra[slots] = np.asarray(prepared.extra)
+        self._state = None
+        self.current[slots] = sources
+        self.owners[slots] = owners
+        self.current_score[slots] = np.asarray(
+            self.metric.initial_scores(sources, prepared), dtype=float
+        )
+        self.hops[slots] = 0
+        self.neighbor_hops[slots] = 0
+        self.long_hops[slots] = 0
+        self.reason_codes[slots] = REASON_ARRIVED
+        if tickets is not None:
+            self.tickets[slots] = np.asarray(tickets, dtype=np.int64)
+        arrived = sources == owners
+        self.success[slots] = arrived
+        self.active[slots] = ~arrived
+        self.active_count += int(m - arrived.sum())
+        return slots
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> np.ndarray:
+        """Advance every active walk one hop; return the retired slots.
+
+        One kernel round, in the batch loop's exact order: hop-budget
+        check, candidate gather, metric scoring, argmin move with the
+        metric's improve/terminal rules, arrival/stuck retirement.
+        """
+        frontier = np.flatnonzero(self.active)
+        if frontier.size == 0:
+            return frontier
+        self.rounds += 1
+        if telemetry.enabled():
+            telemetry.trace(
+                "routing.round", round=self.rounds, active=int(frontier.size)
+            )
+        retired: list[np.ndarray] = []
+        # Budget check first, mirroring the scalar routers' loop heads.
+        exhausted = self.hops[frontier] >= self.max_hops
+        if exhausted.any():
+            spent = frontier[exhausted]
+            self.reason_codes[spent] = REASON_MAX_HOPS
+            self.active[spent] = False
+            retired.append(spent)
+            frontier = frontier[~exhausted]
+        if frontier.size:
+            retired.extend(self._advance(frontier))
+        out = retired[0] if len(retired) == 1 else (
+            np.concatenate(retired) if retired
+            else np.empty(0, dtype=np.int64)
+        )
+        self.active_count -= out.size
+        return out
+
+    def _advance(self, frontier: np.ndarray) -> list[np.ndarray]:
+        """Move one frontier cohort; return the cohorts retired by it."""
+        indptr, indices, is_long = (
+            self.csr.indptr, self.csr.indices, self.csr.is_long,
+        )
+        if self._state is None:
+            self._state = PreparedTargets(
+                owners=self.owners, targets=self._targets, extra=self._extra
+            )
+        retired: list[np.ndarray] = []
+        cur = self.current[frontier]
+        starts = indptr[cur]
+        degrees = indptr[cur + 1] - starts
+        max_degree = int(degrees.max())
+        if max_degree == 0:
+            self.reason_codes[frontier] = REASON_STUCK
+            self.active[frontier] = False
+            return [frontier]
+        lanes = np.arange(max_degree, dtype=np.int64)
+        valid = lanes[None, :] < degrees[:, None]
+        slots = np.where(valid, starts[:, None] + lanes[None, :], 0)
+        candidates = indices[slots]
+        usable = valid
+        if self.alive is not None:
+            usable = usable & self.alive[candidates]
+
+        scores = self.metric.candidate_scores(
+            candidates, slots, usable, self._state, frontier, cur
+        )
+        scores = np.where(usable, scores, np.inf)
+
+        rows = np.arange(frontier.size)
+        best_lane = np.argmin(scores, axis=1)
+        improves = scores[rows, best_lane] < self.current_score[frontier]
+
+        if self.metric.terminal_owner_hop and not improves.all():
+            # Chord's final hop: a walk with no improving candidate may
+            # still step onto a candidate that IS its key's owner.
+            owner_mask = usable & (candidates == self.owners[frontier][:, None])
+            terminal = ~improves & owner_mask.any(axis=1)
+            if terminal.any():
+                best_lane = np.where(terminal, owner_mask.argmax(axis=1), best_lane)
+                improves = improves | terminal
+
+        stuck = frontier[~improves]
+        if stuck.size:
+            self.reason_codes[stuck] = REASON_STUCK
+            self.active[stuck] = False
+            retired.append(stuck)
+
+        movers = frontier[improves]
+        if movers.size:
+            move_rows = rows[improves]
+            move_lanes = best_lane[improves]
+            chosen = candidates[move_rows, move_lanes]
+            chosen_long = is_long[slots[move_rows, move_lanes]]
+            self.current[movers] = chosen
+            if self.metric.greedy:
+                self.current_score[movers] = scores[move_rows, move_lanes]
+            self.hops[movers] += 1
+            self.neighbor_hops[movers] += ~chosen_long
+            self.long_hops[movers] += chosen_long
+            if self.record_paths:
+                self._step_walks.append(movers)
+                self._step_nodes.append(chosen)
+            arrived = chosen == self.owners[movers]
+            if arrived.any():
+                done = movers[arrived]
+                self.success[done] = True
+                self.active[done] = False
+                retired.append(done)
+        return retired
+
+    def take(self, slots: np.ndarray) -> dict[str, np.ndarray]:
+        """Gather one retired cohort's outcome columns, slot-aligned."""
+        return {
+            "success": self.success[slots].copy(),
+            "hops": self.hops[slots].copy(),
+            "neighbor_hops": self.neighbor_hops[slots].copy(),
+            "long_hops": self.long_hops[slots].copy(),
+            "reason_codes": self.reason_codes[slots].copy(),
+            "owners": self.owners[slots].copy(),
+            "tickets": self.tickets[slots].copy(),
+        }
+
+
 def frontier_route_many(
     csr: CSRAdjacency,
     metric: RoutingMetric,
@@ -692,7 +1025,10 @@ def frontier_route_many(
     (which delegates here): all walks advance together one hop per numpy
     step, with the routing rule supplied declaratively (see module
     docstring).  Semantically equivalent to the corresponding scalar
-    ``route`` loop run once per pair.
+    ``route`` loop run once per pair.  The walk state lives in a
+    :class:`StreamFrontier` admitted once and stepped dry — a continuous
+    serving loop drives the same object with interleaved
+    ``admit``/``step``/``release`` calls instead.
 
     Args:
         csr: the overlay's flattened edge set.
@@ -745,112 +1081,35 @@ def frontier_route_many(
         )
     owners = np.asarray(state.owners, dtype=np.int64)
 
-    indptr, indices, is_long = csr.indptr, csr.indices, csr.is_long
-
-    current = sources.copy()
-    current_score = np.asarray(metric.initial_scores(current, state), dtype=float)
-    hops = np.zeros(n_routes, dtype=np.int64)
-    neighbor_hops = np.zeros(n_routes, dtype=np.int64)
-    long_hops = np.zeros(n_routes, dtype=np.int64)
-    reason_codes = np.full(n_routes, REASON_ARRIVED, dtype=np.int8)
-    success = current == owners
-    active = ~success
-    step_walks: list[np.ndarray] = []
-    step_nodes: list[np.ndarray] = []
-
     tel_on = telemetry.enabled()
     started = time.perf_counter() if tel_on else 0.0
-    rounds = 0
 
-    while True:
-        frontier = np.flatnonzero(active)
-        if frontier.size == 0:
-            break
-        if tel_on:
-            rounds += 1
-            telemetry.trace(
-                "routing.round", round=rounds, active=int(frontier.size)
-            )
-        # Budget check first, mirroring the scalar routers' loop heads.
-        exhausted = hops[frontier] >= max_hops
-        if exhausted.any():
-            spent = frontier[exhausted]
-            reason_codes[spent] = REASON_MAX_HOPS
-            active[spent] = False
-            frontier = frontier[~exhausted]
-            if frontier.size == 0:
-                break
-
-        cur = current[frontier]
-        starts = indptr[cur]
-        degrees = indptr[cur + 1] - starts
-        max_degree = int(degrees.max())
-        if max_degree == 0:
-            reason_codes[frontier] = REASON_STUCK
-            active[frontier] = False
-            break
-        lanes = np.arange(max_degree, dtype=np.int64)
-        valid = lanes[None, :] < degrees[:, None]
-        slots = np.where(valid, starts[:, None] + lanes[None, :], 0)
-        candidates = indices[slots]
-        usable = valid
-        if alive is not None:
-            usable = usable & alive[candidates]
-
-        scores = metric.candidate_scores(
-            candidates, slots, usable, state, frontier, cur
-        )
-        scores = np.where(usable, scores, np.inf)
-
-        rows = np.arange(frontier.size)
-        best_lane = np.argmin(scores, axis=1)
-        improves = scores[rows, best_lane] < current_score[frontier]
-
-        if metric.terminal_owner_hop and not improves.all():
-            # Chord's final hop: a walk with no improving candidate may
-            # still step onto a candidate that IS its key's owner.
-            owner_mask = usable & (candidates == owners[frontier][:, None])
-            terminal = ~improves & owner_mask.any(axis=1)
-            if terminal.any():
-                best_lane = np.where(terminal, owner_mask.argmax(axis=1), best_lane)
-                improves = improves | terminal
-
-        stuck = frontier[~improves]
-        if stuck.size:
-            reason_codes[stuck] = REASON_STUCK
-            active[stuck] = False
-
-        movers = frontier[improves]
-        if movers.size:
-            move_rows = rows[improves]
-            move_lanes = best_lane[improves]
-            chosen = candidates[move_rows, move_lanes]
-            chosen_long = is_long[slots[move_rows, move_lanes]]
-            current[movers] = chosen
-            if metric.greedy:
-                current_score[movers] = scores[move_rows, move_lanes]
-            hops[movers] += 1
-            neighbor_hops[movers] += ~chosen_long
-            long_hops[movers] += chosen_long
-            if record_paths:
-                step_walks.append(movers)
-                step_nodes.append(chosen)
-            arrived = chosen == owners[movers]
-            success[movers[arrived]] = True
-            active[movers[arrived]] = False
+    frontier = StreamFrontier(
+        csr, metric, alive=alive, max_hops=max_hops,
+        record_paths=record_paths, capacity=n_routes,
+    )
+    # A fresh frontier allocates slots sequentially, so slot i IS route
+    # i and the resident columns double as the result columns.
+    frontier.admit(sources, state)
+    while frontier.active_count:
+        frontier.step()
 
     if tel_on:
         _record_batch_telemetry(
-            metric, n_routes, rounds, reason_codes, hops,
-            time.perf_counter() - started,
+            metric, n_routes, frontier.rounds, frontier.reason_codes[:n_routes],
+            frontier.hops[:n_routes], time.perf_counter() - started,
         )
-    paths = _assemble_paths(sources, step_walks, step_nodes) if record_paths else None
+    paths = (
+        _assemble_paths(sources, frontier._step_walks, frontier._step_nodes)
+        if record_paths
+        else None
+    )
     return BatchRouteResult(
-        success=success,
-        hops=hops,
-        neighbor_hops=neighbor_hops,
-        long_hops=long_hops,
-        reason_codes=reason_codes,
+        success=frontier.success[:n_routes],
+        hops=frontier.hops[:n_routes],
+        neighbor_hops=frontier.neighbor_hops[:n_routes],
+        long_hops=frontier.long_hops[:n_routes],
+        reason_codes=frontier.reason_codes[:n_routes],
         sources=sources,
         target_keys=target_keys,
         owners=owners,

@@ -11,7 +11,10 @@ Subcommands:
 * ``build --store PATH`` — build a model graph and persist it as a
   :mod:`repro.store` snapshot;
 * ``load --store PATH`` — memmap a snapshot back (no rebuild) and
-  route a lookup batch over it.
+  route a lookup batch over it;
+* ``serve`` — stream heavy-tailed lookup traffic through the
+  :mod:`repro.serving` engine (from a snapshot or a fresh build) and
+  print the p50/p99/p999 SLO report.
 """
 
 from __future__ import annotations
@@ -127,6 +130,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the lookup batch over N worker processes",
     )
     _add_telemetry_flag(load_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="stream lookup traffic through the serving engine"
+    )
+    serve_p.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="serve from this snapshot (default: build a fresh graph)",
+    )
+    serve_p.add_argument(
+        "--n", type=_positive_int, default=100_000,
+        help="peers for the fresh build when --store is not given",
+    )
+    serve_p.add_argument(
+        "--model", choices=("uniform", "skewed", "naive"), default="uniform",
+        help="model family for the fresh build",
+    )
+    serve_p.add_argument(
+        "--alpha", type=float, default=2.5,
+        help="power-law exponent for the skewed/naive populations",
+    )
+    serve_p.add_argument(
+        "--queries", type=_positive_int, default=100_000,
+        help="how many lookups to stream through the engine",
+    )
+    serve_p.add_argument(
+        "--users", type=_positive_int, default=10_000,
+        help="user-population size of the demand model",
+    )
+    serve_p.add_argument(
+        "--affinity", type=float, default=0.8,
+        help="probability a query re-asks the user's home key",
+    )
+    serve_p.add_argument(
+        "--batch", type=_positive_int, default=4096, metavar="B",
+        help="admission micro-batch width (queries per frontier round)",
+    )
+    serve_p.add_argument(
+        "--cache", type=int, default=4096, metavar="C",
+        help="hot-key route-cache capacity (0 disables the cache)",
+    )
+    serve_p.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="route admitted micro-batches over N worker processes",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_telemetry_flag(serve_p)
     return parser
 
 
@@ -211,6 +260,57 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import DemandModel, ServeConfig, ServingEngine
+
+    rng = np.random.default_rng(args.seed)
+    start = time.perf_counter()
+    if args.store is not None:
+        from repro.store import StoreError, load_graph
+
+        try:
+            graph = load_graph(args.store)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"loaded {graph!r} from {args.store} "
+            f"in {(time.perf_counter() - start) * 1e3:.1f}ms"
+        )
+    else:
+        from repro.core.builder import (
+            build_naive_model,
+            build_skewed_model,
+            build_uniform_model,
+        )
+        from repro.distributions import PowerLaw
+
+        if args.model == "uniform":
+            graph = build_uniform_model(args.n, rng)
+        elif args.model == "skewed":
+            graph = build_skewed_model(PowerLaw(args.alpha), args.n, rng)
+        else:
+            graph = build_naive_model(PowerLaw(args.alpha), args.n, rng)
+        print(f"built {graph!r} in {time.perf_counter() - start:.1f}s")
+
+    demand = DemandModel(
+        graph.ids, n_users=args.users, n_peers=graph.n, rng=rng,
+        affinity=args.affinity,
+    )
+    engine = ServingEngine(
+        graph,
+        ServeConfig(
+            admit_per_round=args.batch,
+            cache_capacity=args.cache,
+            workers=args.workers,
+        ),
+    )
+    report = engine.serve(demand, args.queries, rng)
+    print()
+    print(report.render())
+    return 0
+
+
 def _telemetry_wrap(args: argparse.Namespace, command) -> int:
     """Run ``command`` under telemetry when ``--telemetry`` was given.
 
@@ -243,6 +343,8 @@ def main(argv: list[str] | None = None) -> int:
         return _telemetry_wrap(args, _cmd_build)
     if args.command == "load":
         return _telemetry_wrap(args, _cmd_load)
+    if args.command == "serve":
+        return _telemetry_wrap(args, _cmd_serve)
     return _telemetry_wrap(args, _cmd_run)
 
 

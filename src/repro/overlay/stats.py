@@ -76,7 +76,14 @@ def summarize_lookups(results) -> LookupStats:
         for r in results:
             # RouteResult and LookupResult both carry a reason label.
             label = str(getattr(r, "reason", "arrived" if r.success else "stuck"))
-            reasons[label] = reasons.get(label, 0) + 1
+            if label not in reasons:
+                # Growing the histogram here would silently break the
+                # stable-full-schema contract the batch path enforces.
+                raise ValueError(
+                    f"unknown termination reason {label!r}; expected one "
+                    f"of {sorted(reasons)}"
+                )
+            reasons[label] += 1
     return LookupStats(
         n=len(results),
         mean_hops=float(hops.mean()),
@@ -121,21 +128,22 @@ def measure_network(
         raise ValueError(f"unknown targets mode {targets!r}")
     if network.n == 0:
         raise ValueError("cannot measure an empty network")
+    # Both engines consume the same rng stream in the same order — all
+    # sources first, then all keys — so a seed names one workload, not
+    # one workload per engine.
+    ids = network.ids_array()
+    sources = rng.integers(len(ids), size=n_lookups)
+    if targets == "peers":
+        keys = ids[rng.integers(len(ids), size=n_lookups)]
+    else:
+        keys = rng.random(n_lookups)
     if network.engine == "array":
         from repro.core.batch_routing import route_many
 
-        ids = network.ids_array()
-        sources = rng.integers(len(ids), size=n_lookups)
-        if targets == "peers":
-            keys = ids[rng.integers(len(ids), size=n_lookups)]
-        else:
-            keys = rng.random(n_lookups)
         return summarize_lookups(
             route_many(network.snapshot(), sources, keys, workers=workers)
         )
-    results: list[LookupResult] = []
-    for _ in range(n_lookups):
-        source = network.random_peer(rng)
-        key = network.random_peer(rng) if targets == "peers" else float(rng.random())
-        results.append(network.route(source, key))
+    results: list[LookupResult] = [
+        network.route(float(ids[s]), float(k)) for s, k in zip(sources, keys)
+    ]
     return summarize_lookups(results)

@@ -1,0 +1,34 @@
+"""Streaming lookup serving: continuous demand over the resident frontier.
+
+The layer that turns the repository's batch routers into a *server*:
+
+* :class:`DemandModel` — heavy-tailed per-user traffic over any key
+  corpus (who asks, what for, from where);
+* :class:`RouteCache` — LRU hot-key → owner memoisation with
+  hit/miss/eviction accounting mirrored into :mod:`repro.telemetry`;
+* :class:`ServingEngine` — the ring-buffer admission loop around
+  :class:`repro.core.metric_routing.StreamFrontier`: micro-batches of
+  the query stream join the live frontier continuously, retired walks
+  stream into p50/p99/p999 latency + hops SLO quantiles, and per-query
+  outcomes stay bit-identical across worker counts and to batch replay.
+"""
+
+from repro.serving.cache import RouteCache
+from repro.serving.demand import DemandModel, pareto_weights, zipf_weights
+from repro.serving.engine import (
+    ServeConfig,
+    ServeReport,
+    ServeResult,
+    ServingEngine,
+)
+
+__all__ = [
+    "DemandModel",
+    "pareto_weights",
+    "zipf_weights",
+    "RouteCache",
+    "ServeConfig",
+    "ServeReport",
+    "ServeResult",
+    "ServingEngine",
+]

@@ -6,7 +6,13 @@ from repro.workloads.keys import (
     timestamp_corpus,
     zipf_corpus,
 )
-from repro.workloads.queries import point_queries, range_queries, zipf_point_queries
+from repro.workloads.queries import (
+    CumulativePicker,
+    cumulative_picks,
+    point_queries,
+    range_queries,
+    zipf_point_queries,
+)
 
 __all__ = [
     "corpus_from_distribution",
@@ -16,4 +22,6 @@ __all__ = [
     "point_queries",
     "zipf_point_queries",
     "range_queries",
+    "CumulativePicker",
+    "cumulative_picks",
 ]

@@ -9,7 +9,57 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["point_queries", "zipf_point_queries", "range_queries"]
+__all__ = [
+    "point_queries",
+    "zipf_point_queries",
+    "range_queries",
+    "CumulativePicker",
+    "cumulative_picks",
+]
+
+
+class CumulativePicker:
+    """Vectorized cumulative-demand sampler: index ``i`` drawn ∝ ``weights[i]``.
+
+    The classic scalar idiom — draw ``pos`` uniform in ``[0, total)``
+    and ``bisect_right`` the running demand totals — vectorized: the
+    cumulative sum is computed once at construction and every
+    :meth:`pick` call resolves ``n`` draws with one ``searchsorted``.
+    Zero-weight entries occupy an empty slice of the cumulative axis and
+    are (almost surely) never picked.
+
+    Raises:
+        ValueError: for an empty, negative, non-finite, or all-zero
+            weight vector.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ValueError("weights must be a non-empty 1-d array")
+        if not np.isfinite(weights).all() or (weights < 0).any():
+            raise ValueError("weights must be finite and non-negative")
+        self.cdf = np.cumsum(weights)
+        self.total = float(self.cdf[-1])
+        if self.total <= 0.0:
+            raise ValueError("weights must not sum to zero")
+
+    def __len__(self) -> int:
+        return len(self.cdf)
+
+    def pick(self, n_picks: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n_picks`` indices with probability ∝ their weight."""
+        if n_picks < 0:
+            raise ValueError(f"n_picks must be >= 0, got {n_picks}")
+        positions = rng.random(n_picks) * self.total
+        return np.searchsorted(self.cdf, positions, side="right")
+
+
+def cumulative_picks(
+    weights: np.ndarray, n_picks: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One-shot :class:`CumulativePicker` draw (recomputes the cumsum)."""
+    return CumulativePicker(weights).pick(n_picks, rng)
 
 
 def point_queries(
@@ -89,4 +139,8 @@ def range_queries(
     lo = np.clip(centers - 0.5 * widths, 0.0, 1.0)
     hi = np.clip(centers + 0.5 * widths, 0.0, 1.0)
     hi = np.maximum(hi, np.nextafter(lo, 1.0))
+    # At the upper boundary nudging hi up is a no-op (nextafter(1, 1)
+    # == 1), so a center clipping to 1.0 must nudge lo down instead to
+    # keep the lo < hi contract.
+    lo = np.where(hi <= lo, np.nextafter(lo, 0.0), lo)
     return np.stack([lo, hi], axis=1)

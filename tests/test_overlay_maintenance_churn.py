@@ -265,3 +265,32 @@ class TestStats:
         assert uniform_stats.success_rate == 1.0
         with pytest.raises(ValueError):
             measure_network(net, 10, rng, targets="bogus")
+
+    def test_summarize_rejects_unknown_reason_label(self, rng):
+        # Regression: the scalar path used to grow the histogram for
+        # out-of-schema labels instead of keeping the stable schema.
+        from repro.overlay.network import LookupResult
+
+        bad = LookupResult(
+            success=False, hops=1, neighbor_hops=1, long_hops=0,
+            path=[0.5], reason="gave_up", target_key=0.25, owner_id=0.5,
+        )
+        with pytest.raises(ValueError, match="unknown termination reason"):
+            summarize_lookups([bad])
+
+    def test_measure_network_same_seed_same_workload_across_engines(self, rng):
+        # Regression: the scalar engine used to interleave per-lookup
+        # draws, so one seed measured a different workload per engine.
+        from repro.overlay import Network
+
+        graph = build_uniform_model(n=96, rng=rng)
+        array_net = Network.from_graph(graph)
+        scalar_net = Network.from_graph(graph, engine="scalar")
+        for mode in ("peers", "uniform"):
+            a = measure_network(
+                array_net, 50, np.random.default_rng(17), targets=mode
+            )
+            b = measure_network(
+                scalar_net, 50, np.random.default_rng(17), targets=mode
+            )
+            assert a == b, mode

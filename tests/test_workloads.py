@@ -5,7 +5,9 @@ import pytest
 
 from repro.distributions import PowerLaw
 from repro.workloads import (
+    CumulativePicker,
     corpus_from_distribution,
+    cumulative_picks,
     hotspot_corpus,
     point_queries,
     range_queries,
@@ -96,3 +98,55 @@ class TestQueries:
     def test_range_queries_rejects_bad_width(self, rng):
         with pytest.raises(ValueError):
             range_queries(5, rng, mean_width=0.0)
+
+    def test_range_queries_upper_boundary_never_degenerate(self, rng):
+        # Regression: a tiny width around a center at exactly 1.0 used
+        # to collapse to lo == hi == 1.0 (nextafter(1, 1) is a no-op).
+        ranges = range_queries(
+            64, rng, mean_width=1e-15, center_keys=np.array([1.0])
+        )
+        assert np.all(ranges[:, 0] < ranges[:, 1])
+        assert np.all((ranges >= 0.0) & (ranges <= 1.0))
+
+    def test_range_queries_lower_boundary_never_degenerate(self, rng):
+        ranges = range_queries(
+            64, rng, mean_width=1e-15, center_keys=np.array([0.0])
+        )
+        assert np.all(ranges[:, 0] < ranges[:, 1])
+        assert np.all((ranges >= 0.0) & (ranges <= 1.0))
+
+
+class TestCumulativePicker:
+    def test_matches_scalar_bisect_reference(self):
+        import bisect
+
+        weights = np.array([0.5, 0.0, 2.0, 1.5, 0.25])
+        picker = CumulativePicker(weights)
+        vectorized = picker.pick(2000, np.random.default_rng(13))
+        positions = np.random.default_rng(13).random(2000) * picker.total
+        cdf = picker.cdf.tolist()
+        reference = np.array([bisect.bisect_right(cdf, p) for p in positions])
+        assert np.array_equal(vectorized, reference)
+
+    def test_zero_weight_entries_never_picked(self, rng):
+        picks = cumulative_picks(np.array([1.0, 0.0, 1.0]), 5000, rng)
+        assert not (picks == 1).any()
+        assert set(np.unique(picks)) <= {0, 2}
+
+    def test_frequencies_track_weights(self, rng):
+        weights = np.array([1.0, 3.0])
+        picks = cumulative_picks(weights, 20_000, rng)
+        share = (picks == 1).mean()
+        assert share == pytest.approx(0.75, abs=0.02)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            CumulativePicker(np.empty(0))
+        with pytest.raises(ValueError):
+            CumulativePicker(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            CumulativePicker(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            CumulativePicker(np.array([np.inf, 1.0]))
+        with pytest.raises(ValueError):
+            CumulativePicker(np.array([1.0])).pick(-1, rng)
