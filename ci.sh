@@ -40,6 +40,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
   echo "== telemetry smoke (<=5% enabled overhead + shard-merge bit-identity) =="
   python -m pytest benchmarks/bench_telemetry.py -q -s
 
+  echo "== kernel smoke (ragged-vs-padded parity + >=1.5x gate on skewed degrees) =="
+  python -m pytest benchmarks/bench_kernel.py -q -s
+
   echo "== serving smoke (stream-vs-batch parity + sustained-throughput gate at 1e6) =="
   python -m pytest benchmarks/bench_serving.py -q -s
 

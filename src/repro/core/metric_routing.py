@@ -11,11 +11,9 @@ This module generalises the frontier scheme: the kernel
 masks, hop budgets, candidate gathering from a :class:`CSRAdjacency`,
 liveness masking, arrival/stuck/budget accounting, optional path
 recording — while the *routing rule* is a declarative
-:class:`RoutingMetric` object that scores dense ``(walks, lanes)``
-candidate blocks.  Each step:
+:class:`RoutingMetric` object that scores candidate blocks.  Each step:
 
-1. gather every active walk's out-edges into a padded candidate block
-   (exactly as :func:`repro.core.batch_routing.route_many` does);
+1. gather every active walk's out-edges;
 2. ask the metric for per-candidate scores (``inf`` = ineligible);
 3. move each walk to its ``argmin`` candidate when the score beats the
    walk's move threshold — the current greedy distance for *greedy*
@@ -25,6 +23,31 @@ candidate blocks.  Each step:
    with no move stop as ``"stuck"`` (unless the metric's
    ``terminal_owner_hop`` grants the Chord-style final hop onto an
    owner candidate).
+
+Two interchangeable gather/score layouts implement step 1–3, selected
+per frontier with ``kernel=``:
+
+* ``"ragged"`` — the **segmented flat-CSR kernel**: every
+  active walk's adjacency row is gathered into one concatenated
+  candidate vector (no padding, no masking), scored flat through
+  :meth:`RoutingMetric.candidate_scores_flat`, and resolved per walk
+  with segmented reductions (``np.minimum.reduceat`` plus a flat
+  first-occurrence tie-break that reproduces the padded kernel's
+  first-best-lane choice exactly; degree-uniform frontiers take an
+  exact-width 2-d ``argmin`` instead).  Cost per round is proportional
+  to the frontier's *total* degree, so one hub row no longer inflates
+  the whole cohort.
+* ``"padded"`` — the original dense ``(walks, max_degree)`` lane-matrix
+  layout through :meth:`RoutingMetric.candidate_scores` (exactly as
+  :func:`repro.core.batch_routing.route_many` always did).  Kept as the
+  semantic reference and escape hatch; both kernels are gated
+  bit-identical on every outcome column including recorded paths.
+* ``"auto"`` (the default) — chooses per round: the ragged layout when
+  real candidates fill less than half the dense lane matrix (skewed
+  degrees, where padding waste dominates), the padded layout when the
+  frontier is near-degree-uniform (where row broadcasts beat the flat
+  layout's explicit gathers).  Because the two layouts are
+  bit-identical, the choice is purely a throughput heuristic.
 
 The shipped metric families cover every baseline routing rule the paper
 compares against:
@@ -72,6 +95,7 @@ __all__ = [
     "BatchRouteResult",
     "RoutingMetric",
     "PreparedTargets",
+    "Segments",
     "GreedyValueMetric",
     "ClockwiseMetric",
     "PrefixDigitMetric",
@@ -97,6 +121,17 @@ _REASON_LABELS = np.array(["arrived", "stuck", "max_hops"])
 #: Score reserved for rule-based metrics' primary (always-take) moves;
 #: any finite fallback score is worse, ``inf`` marks ineligible lanes.
 _PRIMARY_SCORE = -1e9
+
+#: Shared immutable empty retirement cohort (never written through).
+_EMPTY_SLOTS = np.empty(0, dtype=np.int64)
+
+#: ``kernel="auto"`` rounds take the flat segmented layout when real
+#: candidates fill less than this fraction of the dense lane matrix.
+#: Above it, degrees are near-uniform enough that the padded layout's
+#: row broadcasts beat the flat layout's explicit per-candidate gathers
+#: (measured breakeven ~0.65 on the Pastry comparator; 0.5 keeps a
+#: margin on either side).
+_AUTO_FILL_CUTOFF = 0.5
 
 
 @dataclass
@@ -198,6 +233,30 @@ class PreparedTargets:
     extra: object = None
 
 
+@dataclass
+class Segments:
+    """Per-walk segment layout of one flat candidate vector.
+
+    The ragged kernel concatenates every frontier walk's (live) adjacency
+    row into one flat vector; ``Segments`` describes how that vector
+    partitions back into walks.  Segment ``i`` holds walk ``i``'s
+    candidates at flat positions ``starts[i] : starts[i] + counts[i]``.
+    Every segment is non-empty — walks with no (live) candidates are
+    filtered out before scoring and retire as stuck without ever
+    reaching the metric.
+
+    Attributes:
+        starts: ``(w,)`` flat offset of each walk's first candidate.
+        counts: ``(w,)`` number of candidates per walk (all ``>= 1``).
+        rows: ``(total,)`` walk-row index of each flat candidate — the
+            inverse map, ``rows[starts[i]:starts[i]+counts[i]] == i``.
+    """
+
+    starts: np.ndarray
+    counts: np.ndarray
+    rows: np.ndarray
+
+
 class RoutingMetric(ABC):
     """Declarative routing rule consumed by :func:`frontier_route_many`.
 
@@ -260,6 +319,49 @@ class RoutingMetric(ABC):
             current: ``(w,)`` current node of each frontier walk.
         """
 
+    def candidate_scores_flat(
+        self,
+        candidates: np.ndarray,
+        slots: np.ndarray,
+        segments: Segments,
+        state: PreparedTargets,
+        walks: np.ndarray,
+        current: np.ndarray,
+    ) -> np.ndarray:
+        """Score one flat candidate vector for the ragged kernel.
+
+        Unlike :meth:`candidate_scores` there is no ``usable`` mask: the
+        kernel pre-filters the flat vector to real, live edges, so every
+        element is scorable (``inf`` still marks rule-ineligibility).
+        Scores must be bitwise-identical to the padded path's scores for
+        the same edges — the shipped metrics achieve this by running the
+        same elementwise expressions over the flat layout.
+
+        This default adapter re-pads the flat vector into a dense block
+        and delegates to :meth:`candidate_scores`, so third-party metrics
+        written against the padded contract work under either kernel.
+
+        Args:
+            candidates: ``(total,)`` candidate node indices.
+            slots: ``(total,)`` CSR edge positions of the candidates.
+            segments: the per-walk :class:`Segments` layout.
+            walks: ``(w,)`` route indices of the scored sub-frontier.
+            current: ``(w,)`` current node of each scored walk.
+        """
+        counts = segments.counts
+        w = len(counts)
+        width = int(counts.max())
+        lanes = np.arange(width)
+        valid = lanes[None, :] < counts[:, None]
+        pad_candidates = np.zeros((w, width), dtype=candidates.dtype)
+        pad_candidates[valid] = candidates
+        pad_slots = np.zeros((w, width), dtype=np.asarray(slots).dtype)
+        pad_slots[valid] = slots
+        scores = self.candidate_scores(
+            pad_candidates, pad_slots, valid, state, walks, current
+        )
+        return np.asarray(scores, dtype=float)[valid]
+
     @staticmethod
     def _no_alive(alive: np.ndarray | None) -> None:
         if alive is not None:
@@ -307,6 +409,11 @@ class GreedyValueMetric(RoutingMetric):
     def candidate_scores(self, candidates, slots, usable, state, walks, current):
         return self.space.pairwise_distances(
             self.positions[candidates], state.targets[walks][:, None]
+        )
+
+    def candidate_scores_flat(self, candidates, slots, segments, state, walks, current):
+        return self.space.pairwise_distances(
+            self.positions[candidates], state.targets[walks][segments.rows]
         )
 
 
@@ -361,6 +468,11 @@ class ClockwiseMetric(RoutingMetric):
 
     def candidate_scores(self, candidates, slots, usable, state, walks, current):
         return (state.targets[walks][:, None] - self.positions[candidates]) % 1.0
+
+    def candidate_scores_flat(self, candidates, slots, segments, state, walks, current):
+        return (
+            state.targets[walks][segments.rows] - self.positions[candidates]
+        ) % 1.0
 
 
 class PrefixDigitMetric(RoutingMetric):
@@ -460,6 +572,43 @@ class PrefixDigitMetric(RoutingMetric):
             scores[rows] = np.where(eligible, cand_dist - cand_l, np.inf)
         return scores
 
+    def candidate_scores_flat(self, candidates, slots, segments, state, walks, current):
+        key_digits = state.extra[walks]
+        cpl_cur = self._cpl_current(current, key_digits)
+        wanted_digit = key_digits[
+            np.arange(len(walks)), np.minimum(cpl_cur, self.depth - 1)
+        ]
+        rows = segments.rows
+        primary = (
+            (cpl_cur[rows] < self.depth)
+            & (self.tag_level[slots] == cpl_cur[rows])
+            & (self.tag_digit[slots] == wanted_digit[rows])
+        )
+        scores = np.where(primary, _PRIMARY_SCORE, np.inf)
+        # Fallback scan only for the walks the primary rule cannot serve,
+        # selected flat: a segmented any over the primary hits, expanded
+        # back through ``rows`` to pick those walks' candidates.
+        need = ~np.bitwise_or.reduceat(primary, segments.starts)
+        if need.any():
+            sel = need[rows]
+            rsel = rows[sel]
+            cand = candidates[sel]
+            targets_sel = state.targets[walks[rsel]]
+            # The current-peer distance is evaluated per selected
+            # candidate (same operands as the padded kernel's per-row
+            # value, so bitwise-equal) — never for the whole frontier.
+            cur_dist = self._space.pairwise_distances(
+                self.positions[current[rsel]], targets_sel
+            )
+            cand_dist = self._space.pairwise_distances(
+                self.positions[cand], targets_sel
+            )
+            neq = self.digits[cand] != key_digits[rsel]
+            cand_l = np.where(neq.any(axis=1), neq.argmax(axis=1), self.depth)
+            eligible = (cand_dist < cur_dist) & (cand_l >= cpl_cur[rsel])
+            scores[sel] = np.where(eligible, cand_dist - cand_l, np.inf)
+        return scores
+
 
 class TrieMetric(RoutingMetric):
     """P-Grid's rule: resolve one differing bit, else step in value order.
@@ -526,6 +675,18 @@ class TrieMetric(RoutingMetric):
             state.targets[walks] > self.positions[current], current + 1, current - 1
         )
         fallback = usable & (self.tag_level[slots] == -1) & (candidates == want[:, None])
+        return np.where(primary, _PRIMARY_SCORE, np.where(fallback, 0.0, np.inf))
+
+    def candidate_scores_flat(self, candidates, slots, segments, state, walks, current):
+        key_bits = state.extra[walks]
+        neq = self.bits[current] != key_bits
+        cpl = np.where(neq.any(axis=1), neq.argmax(axis=1), self.max_depth)
+        rows = segments.rows
+        primary = (self.tag_level[slots] == cpl[rows]) & (self.tag_rank[slots] == 0)
+        want = np.where(
+            state.targets[walks] > self.positions[current], current + 1, current - 1
+        )
+        fallback = (self.tag_level[slots] == -1) & (candidates == want[rows])
         return np.where(primary, _PRIMARY_SCORE, np.where(fallback, 0.0, np.inf))
 
 
@@ -644,6 +805,13 @@ class TorusZoneMetric(RoutingMetric):
     def candidate_scores(self, candidates, slots, usable, state, walks, current):
         return self._zone_distances(state.targets[walks], candidates)
 
+    def candidate_scores_flat(self, candidates, slots, segments, state, walks, current):
+        # _zone_distances broadcasts per-dimension; flat 1-d zones take
+        # the same elementwise expressions without the lane axis.
+        return self._zone_distances(
+            state.targets[walks][segments.rows], candidates
+        )
+
 
 class LatticeMetric(RoutingMetric):
     """Watts–Strogatz greedy routing by ring *index* distance.
@@ -676,6 +844,9 @@ class LatticeMetric(RoutingMetric):
     def candidate_scores(self, candidates, slots, usable, state, walks, current):
         return self._index_distance(candidates, state.owners[walks][:, None])
 
+    def candidate_scores_flat(self, candidates, slots, segments, state, walks, current):
+        return self._index_distance(candidates, state.owners[walks][segments.rows])
+
 
 class StreamFrontier:
     """Resident routing frontier: walks join and leave continuously.
@@ -702,6 +873,16 @@ class StreamFrontier:
     retired cohort's columns.  Path recording is supported only while
     no slot has been released (a reused slot would splice two walks'
     paths together), which the batch driver satisfies by construction.
+
+    ``kernel`` selects the round layout — ``"auto"`` (the default)
+    picks per round: the segmented flat-CSR layout when the round is
+    padding-heavy (fill below :data:`_AUTO_FILL_CUTOFF`), the dense
+    lane matrix when degrees are near-uniform and broadcasting beats
+    gathering.  ``"ragged"`` / ``"padded"`` force one layout; see the
+    module docstring.  All three produce bit-identical walk outcomes;
+    the frontier tracks :attr:`candidates_seen` /
+    :attr:`padded_slots_seen` so :attr:`fill_ratio` reports how much
+    padding the ragged layout avoids.
     """
 
     def __init__(
@@ -712,14 +893,35 @@ class StreamFrontier:
         max_hops: int | None = None,
         record_paths: bool = False,
         capacity: int = 1024,
+        kernel: str = "auto",
     ):
+        if kernel not in ("auto", "ragged", "padded"):
+            raise ValueError(
+                f"unknown frontier kernel {kernel!r}; "
+                "expected 'auto', 'ragged' or 'padded'"
+            )
         self.csr = csr
         self.metric = metric
         self.alive = None if alive is None else np.asarray(alive, dtype=bool)
         self.max_hops = csr.n if max_hops is None else max_hops
         self.record_paths = record_paths
+        self.kernel = kernel
         self.rounds = 0
         self.active_count = 0
+        #: Real (pre-liveness) candidates gathered across all rounds, and
+        #: the dense ``frontier × max_degree`` slot count the padded
+        #: layout pays for the same rounds — the padding-waste observables.
+        self.candidates_seen = 0
+        self.padded_slots_seen = 0
+        # Reused per-round scratch: one growable arange buffer serves as
+        # both the lane ramp and the flat-position ramp (its contents are
+        # never mutated, so multiple live views stay valid across growth),
+        # int32-narrowed when every index this frontier produces fits.
+        self._idx_dtype = (
+            np.int32 if (csr.n < 2**31 and csr.n_edges < 2**31) else np.int64
+        )
+        self._ramp_buf = np.empty(0, dtype=self._idx_dtype)
+        self._retired_buf = np.empty(0, dtype=np.int64)
         cap = max(int(capacity), 1)
         self.current = np.zeros(cap, dtype=np.int64)
         self.owners = np.zeros(cap, dtype=np.int64)
@@ -744,6 +946,26 @@ class StreamFrontier:
     def capacity(self) -> int:
         """Current slot capacity of the resident arrays."""
         return len(self.current)
+
+    @property
+    def fill_ratio(self) -> float:
+        """Real-candidate fraction of the padded layout's slot budget.
+
+        ``candidates_seen / padded_slots_seen`` over every round stepped
+        so far; 1.0 means the frontier was degree-uniform (padding-free)
+        — and 1.0 before any round has gathered candidates.
+        """
+        if self.padded_slots_seen == 0:
+            return 1.0
+        return self.candidates_seen / self.padded_slots_seen
+
+    def _ramp(self, n: int) -> np.ndarray:
+        """A ``[0, n)`` arange view from the reused scratch buffer."""
+        if len(self._ramp_buf) < n:
+            self._ramp_buf = np.arange(
+                max(n, 2 * len(self._ramp_buf), 1024), dtype=self._idx_dtype
+            )
+        return self._ramp_buf[:n]
 
     # ------------------------------------------------------------------
     # slot management
@@ -916,45 +1138,101 @@ class StreamFrontier:
             frontier = frontier[~exhausted]
         if frontier.size:
             retired.extend(self._advance(frontier))
-        out = retired[0] if len(retired) == 1 else (
-            np.concatenate(retired) if retired
-            else np.empty(0, dtype=np.int64)
-        )
+        if len(retired) == 1:
+            out = retired[0]
+        elif retired:
+            # Concatenate into the reused retirement buffer instead of a
+            # fresh allocation every round; the returned view is valid
+            # until the next step(), which every caller satisfies by
+            # consuming retirements before stepping again.
+            total = sum(r.size for r in retired)
+            if len(self._retired_buf) < total:
+                self._retired_buf = np.empty(
+                    max(total, 2 * len(self._retired_buf)), dtype=np.int64
+                )
+            out = self._retired_buf[:total]
+            pos = 0
+            for cohort in retired:
+                out[pos : pos + cohort.size] = cohort
+                pos += cohort.size
+        else:
+            out = _EMPTY_SLOTS
         self.active_count -= out.size
         return out
 
     def _advance(self, frontier: np.ndarray) -> list[np.ndarray]:
         """Move one frontier cohort; return the cohorts retired by it."""
-        indptr, indices, is_long = (
-            self.csr.indptr, self.csr.indices, self.csr.is_long,
-        )
+        indptr = self.csr.indptr
         if self._state is None:
             self._state = PreparedTargets(
                 owners=self.owners, targets=self._targets, extra=self._extra
             )
-        retired: list[np.ndarray] = []
         cur = self.current[frontier]
         starts = indptr[cur]
         degrees = indptr[cur + 1] - starts
         max_degree = int(degrees.max())
+        n_candidates = int(degrees.sum())
+        padded_slots = frontier.size * max_degree
+        self.candidates_seen += n_candidates
+        self.padded_slots_seen += padded_slots
+        if telemetry.enabled():
+            telemetry.count("routing.frontier.candidates", n_candidates)
+            telemetry.count("routing.frontier.padded_slots", padded_slots)
         if max_degree == 0:
             self.reason_codes[frontier] = REASON_STUCK
             self.active[frontier] = False
             return [frontier]
-        lanes = np.arange(max_degree, dtype=np.int64)
-        valid = lanes[None, :] < degrees[:, None]
-        slots = np.where(valid, starts[:, None] + lanes[None, :], 0)
+        if self.kernel == "ragged" or (
+            self.kernel == "auto"
+            and n_candidates < _AUTO_FILL_CUTOFF * padded_slots
+        ):
+            return self._advance_ragged(frontier, cur, starts, degrees)
+        return self._advance_padded(frontier, cur, starts, degrees, max_degree)
+
+    def _advance_padded(
+        self,
+        frontier: np.ndarray,
+        cur: np.ndarray,
+        starts: np.ndarray,
+        degrees: np.ndarray,
+        max_degree: int,
+    ) -> list[np.ndarray]:
+        """Dense ``(frontier, max_degree)`` lane-matrix round.
+
+        The original kernel layout, kept as the semantic reference and
+        escape hatch; the ragged kernel reproduces its outcomes bit for
+        bit.
+        """
+        indices, is_long = self.csr.indices, self.csr.is_long
+        retired: list[np.ndarray] = []
+        lanes = self._ramp(max_degree)
+        uniform = int(degrees.min()) == max_degree
+        if uniform:
+            # Degree-uniform frontier: every lane is real, so skip the
+            # validity mask and the np.where slot clamp entirely.
+            slots = starts[:, None] + lanes[None, :]
+            valid = np.broadcast_to(np.True_, slots.shape)
+        else:
+            valid = lanes[None, :] < degrees[:, None]
+            slots = np.where(valid, starts[:, None] + lanes[None, :], 0)
         candidates = indices[slots]
         usable = valid
+        all_usable = uniform
         if self.alive is not None:
             usable = usable & self.alive[candidates]
+            all_usable = False
 
         scores = self.metric.candidate_scores(
             candidates, slots, usable, self._state, frontier, cur
         )
-        scores = np.where(usable, scores, np.inf)
+        if all_usable:
+            # Masking against an all-True block is the identity; just
+            # guarantee the float dtype the comparisons below rely on.
+            scores = np.asarray(scores, dtype=float)
+        else:
+            scores = np.where(usable, scores, np.inf)
 
-        rows = np.arange(frontier.size)
+        rows = self._ramp(frontier.size)
         best_lane = np.argmin(scores, axis=1)
         improves = scores[rows, best_lane] < self.current_score[frontier]
 
@@ -996,6 +1274,153 @@ class StreamFrontier:
                 retired.append(done)
         return retired
 
+    def _advance_ragged(
+        self,
+        frontier: np.ndarray,
+        cur: np.ndarray,
+        starts: np.ndarray,
+        degrees: np.ndarray,
+    ) -> list[np.ndarray]:
+        """Segmented flat-CSR round: gather flat, score flat, reduceat.
+
+        The frontier's adjacency rows are concatenated into one flat
+        candidate vector (cost proportional to the *total* degree, not
+        ``frontier × max_degree``), scored through
+        :meth:`RoutingMetric.candidate_scores_flat`, and resolved per
+        walk with segmented reductions.  The per-walk argmin reproduces
+        the padded kernel's first-best-lane tie-break exactly: the
+        segment minimum comes from ``np.minimum.reduceat``, and the
+        chosen position is the first flat index attaining it (an
+        exact-width 2-d argmin when the live frontier is degree-uniform,
+        where reduceat loses to one reshape).
+        """
+        indices, is_long = self.csr.indices, self.csr.is_long
+        retired: list[np.ndarray] = []
+        w = frontier.size
+        # Walks with no candidates at all never reach the metric: they
+        # retire as stuck below, and excluding them keeps every reduceat
+        # segment non-empty (reduceat misbehaves on empty segments).
+        if int(degrees.min()) == 0:
+            sub = np.flatnonzero(degrees)
+            counts = degrees[sub]
+            row_starts = starts[sub]
+        else:
+            sub = None
+            counts = degrees
+            row_starts = starts
+        nseg = len(counts)
+        seg_starts = np.cumsum(counts) - counts
+        total = int(degrees.sum())
+        rows = np.repeat(self._ramp(nseg), counts)
+        flat_ramp = self._ramp(total)
+        # Flat position j in segment i maps to CSR slot
+        # row_starts[i] + (j - seg_starts[i]); one repeat + the ramp.
+        base = (row_starts - seg_starts).astype(self._idx_dtype, copy=False)
+        slots = np.repeat(base, counts) + flat_ramp
+        candidates = indices[slots]
+
+        if self.alive is not None:
+            live = self.alive[candidates]
+            if not live.all():
+                # Compress dead candidates out and rebuild the segment
+                # layout; walks left with zero live candidates join the
+                # stuck cohort via the improves mask below.
+                candidates = candidates[live]
+                slots = slots[live]
+                counts = np.add.reduceat(live.astype(np.int64), seg_starts)
+                keep = counts > 0
+                if not keep.all():
+                    sub = np.flatnonzero(keep) if sub is None else sub[keep]
+                    counts = counts[keep]
+                total = int(counts.sum())
+                if total == 0:
+                    self.reason_codes[frontier] = REASON_STUCK
+                    self.active[frontier] = False
+                    return [frontier]
+                nseg = len(counts)
+                seg_starts = np.cumsum(counts) - counts
+                rows = np.repeat(self._ramp(nseg), counts)
+                flat_ramp = self._ramp(total)
+
+        if sub is None:
+            walks_sub = frontier
+            cur_sub = cur
+        else:
+            walks_sub = frontier[sub]
+            cur_sub = cur[sub]
+
+        segments = Segments(starts=seg_starts, counts=counts, rows=rows)
+        scores = np.asarray(
+            self.metric.candidate_scores_flat(
+                candidates, slots, segments, self._state, walks_sub, cur_sub
+            ),
+            dtype=float,
+        )
+
+        width = int(counts[0])
+        if int(counts.min()) == int(counts.max()):
+            # Degree-uniform live frontier: exact-width batch, resolved
+            # with a plain 2-d argmin (first-min, same as padded).
+            block = scores.reshape(nseg, width)
+            lane = np.argmin(block, axis=1)
+            best = block[self._ramp(nseg), lane]
+            choice = seg_starts + lane
+        else:
+            best = np.minimum.reduceat(scores, seg_starts)
+            # First flat position attaining the segment minimum — the
+            # padded kernel's first-best-lane choice.  Bitwise equality
+            # is exact because `best` is one of the segment's elements.
+            at_min = scores == best[rows]
+            choice = np.minimum.reduceat(
+                np.where(at_min, flat_ramp, total), seg_starts
+            )
+        improves_sub = best < self.current_score[walks_sub]
+
+        if self.metric.terminal_owner_hop and not improves_sub.all():
+            # Chord's final hop, as a flat segmented any + first-hit.
+            owner_hit = candidates == self.owners[walks_sub][rows]
+            has_owner = np.bitwise_or.reduceat(owner_hit, seg_starts)
+            terminal = ~improves_sub & has_owner
+            if terminal.any():
+                first_owner = np.minimum.reduceat(
+                    np.where(owner_hit, flat_ramp, total), seg_starts
+                )
+                choice = np.where(terminal, first_owner, choice)
+                improves_sub = improves_sub | terminal
+
+        if sub is None:
+            improves = improves_sub
+        else:
+            improves = np.zeros(w, dtype=bool)
+            improves[sub] = improves_sub
+        stuck = frontier[~improves]
+        if stuck.size:
+            self.reason_codes[stuck] = REASON_STUCK
+            self.active[stuck] = False
+            retired.append(stuck)
+
+        movers = walks_sub[improves_sub]
+        if movers.size:
+            picked = choice[improves_sub]
+            chosen = candidates[picked]
+            chosen_long = is_long[slots[picked]]
+            self.current[movers] = chosen
+            if self.metric.greedy:
+                self.current_score[movers] = scores[picked]
+            self.hops[movers] += 1
+            self.neighbor_hops[movers] += ~chosen_long
+            self.long_hops[movers] += chosen_long
+            if self.record_paths:
+                self._step_walks.append(movers)
+                self._step_nodes.append(chosen)
+            arrived = chosen == self.owners[movers]
+            if arrived.any():
+                done = movers[arrived]
+                self.success[done] = True
+                self.active[done] = False
+                retired.append(done)
+        return retired
+
     def take(self, slots: np.ndarray) -> dict[str, np.ndarray]:
         """Gather one retired cohort's outcome columns, slot-aligned."""
         return {
@@ -1018,6 +1443,7 @@ def frontier_route_many(
     max_hops: int | None = None,
     record_paths: bool = False,
     prepared: PreparedTargets | None = None,
+    kernel: str = "auto",
 ) -> BatchRouteResult:
     """Route every ``(source, target_key)`` pair over ``csr`` under ``metric``.
 
@@ -1047,6 +1473,11 @@ def frontier_route_many(
             once in the parent process — where the metric's key
             transform / embedding callables live — and ships each worker
             its slice, so workers never need those callables.
+        kernel: frontier round layout — ``"auto"`` (the default; picks
+            flat-segmented or dense per round by fill ratio),
+            ``"ragged"`` (force segmented flat-CSR) or ``"padded"``
+            (force dense lane matrices); bit-identical outcomes, see
+            the module docstring.
 
     Raises:
         ValueError: on mismatched inputs, an out-of-range or dead source
@@ -1086,7 +1517,7 @@ def frontier_route_many(
 
     frontier = StreamFrontier(
         csr, metric, alive=alive, max_hops=max_hops,
-        record_paths=record_paths, capacity=n_routes,
+        record_paths=record_paths, capacity=n_routes, kernel=kernel,
     )
     # A fresh frontier allocates slots sequentially, so slot i IS route
     # i and the resident columns double as the result columns.
@@ -1098,6 +1529,7 @@ def frontier_route_many(
         _record_batch_telemetry(
             metric, n_routes, frontier.rounds, frontier.reason_codes[:n_routes],
             frontier.hops[:n_routes], time.perf_counter() - started,
+            frontier.candidates_seen, frontier.padded_slots_seen,
         )
     paths = (
         _assemble_paths(sources, frontier._step_walks, frontier._step_nodes)
@@ -1136,13 +1568,16 @@ def _record_batch_telemetry(
     reason_codes: np.ndarray,
     hops: np.ndarray,
     seconds: float,
+    candidates: int = 0,
+    padded_slots: int = 0,
 ) -> None:
     """Fold one routed batch into the active registry.
 
     Per batch: walk/round counters, the full REASON-code histogram
     (zeros included — the stable-schema contract downstream dashboards
     rely on), the hop-count P² estimator, a per-metric-family batch
-    timer, and one ``routing.batch`` trace event.
+    timer, the frontier fill-ratio gauge (real candidates over the
+    padded layout's slot budget), and one ``routing.batch`` trace event.
     """
     registry = telemetry.get_registry()
     family = _metric_family(metric)
@@ -1153,6 +1588,8 @@ def _record_batch_telemetry(
     for code, label in enumerate(_REASON_LABELS):
         registry.counter(f"routing.reason.{label}").inc(int(tally[code]))
     registry.quantile("routing.hops").observe_batch(hops)
+    fill_ratio = (candidates / padded_slots) if padded_slots else 1.0
+    registry.gauge("routing.frontier.fill_ratio").set(fill_ratio)
     telemetry.trace(
         "routing.batch",
         family=family,
@@ -1161,6 +1598,7 @@ def _record_batch_telemetry(
         arrived=int(tally[REASON_ARRIVED]),
         stuck=int(tally[REASON_STUCK]),
         max_hops=int(tally[REASON_MAX_HOPS]),
+        fill_ratio=fill_ratio,
         seconds=seconds,
     )
 

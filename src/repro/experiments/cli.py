@@ -174,6 +174,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=None, metavar="N",
         help="route admitted micro-batches over N worker processes",
     )
+    serve_p.add_argument(
+        "--kernel", choices=("auto", "ragged", "padded"), default="auto",
+        help="frontier round layout (bit-identical outcomes)",
+    )
     serve_p.add_argument("--seed", type=int, default=0, help="random seed")
     _add_telemetry_flag(serve_p)
     return parser
@@ -303,6 +307,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             admit_per_round=args.batch,
             cache_capacity=args.cache,
             workers=args.workers,
+            kernel=args.kernel,
         ),
     )
     report = engine.serve(demand, args.queries, rng)

@@ -184,7 +184,7 @@ def _route_shard(job) -> tuple[BatchRouteResult, "telemetry.MetricsDelta | None"
     """
     (
         arena, alive_arena, kind, params, sources, keys,
-        owners, targets, extra, max_hops, record_paths, tel_on,
+        owners, targets, extra, max_hops, record_paths, kernel, tel_on,
     ) = job
 
     def run() -> BatchRouteResult:
@@ -199,10 +199,12 @@ def _route_shard(job) -> tuple[BatchRouteResult, "telemetry.MetricsDelta | None"
         alive = (
             arena_arrays(alive_arena)["alive"] if alive_arena is not None else None
         )
+        # Each shard's StreamFrontier owns its flat gather scratch, so
+        # the ragged kernel's buffers are per-worker by construction.
         return frontier_route_many(
             csr, metric, sources, keys,
             alive=alive, max_hops=max_hops, record_paths=record_paths,
-            prepared=prepared,
+            prepared=prepared, kernel=kernel,
         )
 
     if not tel_on:
@@ -272,6 +274,7 @@ def frontier_route_many_parallel(
     workers: int | None = None,
     executor: ShardedExecutor | None = None,
     reuse_arena: bool = True,
+    kernel: str = "auto",
 ) -> BatchRouteResult:
     """Sharded :func:`repro.core.metric_routing.frontier_route_many`.
 
@@ -296,6 +299,9 @@ def frontier_route_many_parallel(
             over the same graph skip the republish; ``False`` restores
             the publish-per-call lifecycle (each call creates and
             unlinks its own arena).
+        kernel: frontier round layout, applied per shard —
+            ``"auto"`` (default), ``"ragged"`` or ``"padded"``; see
+            :mod:`repro.core.metric_routing`.
 
     Raises:
         ValueError: on mismatched inputs or an out-of-range/dead source.
@@ -317,6 +323,7 @@ def frontier_route_many_parallel(
         return frontier_route_many(
             csr, metric, sources, target_keys,
             alive=alive, max_hops=max_hops, record_paths=record_paths,
+            kernel=kernel,
         )
     if sources.ndim != 1 or target_keys.ndim != 1:
         raise ValueError("sources and target_keys must be one-dimensional")
@@ -367,7 +374,7 @@ def frontier_route_many_parallel(
                 sources[lo:hi], target_keys[lo:hi],
                 owners[lo:hi], targets[lo:hi],
                 None if extra is None else extra[lo:hi],
-                max_hops, record_paths, tel_on,
+                max_hops, record_paths, kernel, tel_on,
             )
             for lo, hi in bounds
         ]
@@ -394,6 +401,7 @@ def route_many_parallel(
     workers: int | None = None,
     executor: ShardedExecutor | None = None,
     reuse_arena: bool = True,
+    kernel: str = "auto",
 ) -> BatchRouteResult:
     """Sharded :func:`repro.core.route_many` over a small-world graph.
 
@@ -402,7 +410,8 @@ def route_many_parallel(
     to pin an executor or to bypass the batch-size heuristic.
 
     Args and raises as :func:`repro.core.route_many`, plus
-    ``reuse_arena`` as in :func:`frontier_route_many_parallel`.
+    ``reuse_arena`` / ``kernel`` as in
+    :func:`frontier_route_many_parallel`.
     """
     from repro.core.batch_routing import _graph_metric
 
@@ -417,6 +426,7 @@ def route_many_parallel(
         workers=workers,
         executor=executor,
         reuse_arena=reuse_arena,
+        kernel=kernel,
     )
 
 
@@ -429,6 +439,7 @@ def measure_overlay_batch_parallel(
     workers: int | None = None,
     executor: ShardedExecutor | None = None,
     reuse_arena: bool = True,
+    kernel: str = "auto",
 ):
     """Sharded :func:`repro.baselines.measure_overlay_batch`.
 
@@ -453,6 +464,7 @@ def measure_overlay_batch_parallel(
         frontier_route_many_parallel(
             csr, metric, sources, keys,
             workers=workers, executor=executor, reuse_arena=reuse_arena,
+            kernel=kernel,
         )
     )
 

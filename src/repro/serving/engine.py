@@ -66,6 +66,11 @@ class ServeConfig:
         workers: ``None``/``1`` serves from the resident stream;
             ``> 1`` routes each admitted micro-batch through the
             sharded parallel kernel.
+        kernel: frontier round layout — ``"auto"`` (the default; picks
+            flat-segmented or dense per round by fill ratio),
+            ``"ragged"`` (force segmented flat-CSR) or ``"padded"``
+            (force dense lane matrices); bit-identical outcomes, see
+            :mod:`repro.core.metric_routing`.
     """
 
     admit_per_round: int = 4096
@@ -73,6 +78,7 @@ class ServeConfig:
     max_hops: int | None = None
     cache_capacity: int = 0
     workers: int | None = None
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.admit_per_round < 1:
@@ -87,6 +93,11 @@ class ServeConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.kernel not in ("auto", "ragged", "padded"):
+            raise ValueError(
+                f"unknown frontier kernel {self.kernel!r}; "
+                "expected 'auto', 'ragged' or 'padded'"
+            )
 
 
 @dataclass
@@ -308,7 +319,7 @@ class ServingEngine:
         self._frontier = (
             StreamFrontier(
                 self.csr, self.metric, max_hops=self.max_hops,
-                capacity=self.config.max_active,
+                capacity=self.config.max_active, kernel=self.config.kernel,
             )
             if self._serial
             else None
@@ -462,6 +473,7 @@ class ServingEngine:
             batch = frontier_route_many_parallel(
                 self.csr, self.metric, sources, keys,
                 max_hops=self.max_hops, workers=self.workers,
+                kernel=self.config.kernel,
             )
             self._finish(
                 tickets,
@@ -579,4 +591,12 @@ class ServingEngine:
             cache=self.cache.stats() if self.cache is not None else None,
             workers=1 if self._serial else int(self.workers),
             rounds=self.rounds,
+            extras=(
+                {
+                    "kernel": self.config.kernel,
+                    "frontier_fill_ratio": self._frontier.fill_ratio,
+                }
+                if self._frontier is not None
+                else {"kernel": self.config.kernel}
+            ),
         )

@@ -1,0 +1,439 @@
+"""Bit-identity suite for the ragged (segmented flat-CSR) frontier kernel.
+
+The ragged kernel must reproduce the padded lane-matrix kernel's
+outcomes *bitwise* — success, hops, neighbour/long split, reasons,
+owners, and full recorded paths — across:
+
+* all six shipped metric families (greedy-value, clockwise/Chord with
+  its terminal owner hop, prefix-digit/Pastry, trie/P-Grid,
+  torus-zone/CAN, lattice/Watts–Strogatz), uniform and skewed keys;
+* skew-degree adversaries: a hub row with degree far above the median,
+  zero-out-degree rows mixed into a live frontier, liveness masks that
+  kill every candidate of some walks;
+* streaming admission — walks joining a resident frontier in staggered
+  micro-batches;
+* the default ``candidate_scores_flat`` adapter, so padded-only
+  third-party metrics keep working under the ragged kernel.
+
+Plus the plumbing: kernel validation, the ``"auto"`` per-round layout
+dispatch, scratch-buffer fill-ratio accounting, the telemetry
+counters/gauge, and serving-engine parity.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.baselines import (
+    CANOverlay,
+    ChordOverlay,
+    PastryOverlay,
+    PGridOverlay,
+    SymphonyOverlay,
+    WattsStrogatzOverlay,
+    route_many_overlay,
+    sample_overlay_lookups,
+)
+from repro.core import build_uniform_model, route_many
+from repro.core.adjacency import CSRAdjacency, csr_from_flat_links
+from repro.core.metric_routing import (
+    GreedyValueMetric,
+    RoutingMetric,
+    StreamFrontier,
+    frontier_route_many,
+)
+from repro.distributions import PowerLaw
+from repro.keyspace import RingSpace
+from repro.serving import ServeConfig, ServingEngine
+
+
+def _uniform_ids(n, seed):
+    return np.sort(np.random.default_rng(seed).random(n))
+
+
+def _skewed_ids(n, seed):
+    rng = np.random.default_rng(seed)
+    dist = PowerLaw(alpha=1.8, shift=1e-4)
+    ids = np.unique(dist.sample(n, rng))
+    while len(ids) < n:
+        ids = np.unique(np.concatenate([ids, dist.sample(n - len(ids), rng)]))
+    return ids
+
+
+#: One overlay per shipped metric family.
+SIX_FAMILIES = ["chord", "pastry", "pgrid", "symphony", "can-2d", "ws"]
+
+
+def _make_family(name, ids, rng):
+    if name == "chord":
+        return ChordOverlay(ids)  # ClockwiseMetric + terminal owner hop
+    if name == "pastry":
+        return PastryOverlay(ids, rng)  # PrefixDigitMetric
+    if name == "pgrid":
+        return PGridOverlay(ids, rng)  # TrieMetric
+    if name == "symphony":
+        return SymphonyOverlay(ids, rng, k=4)  # GreedyValueMetric
+    if name == "can-2d":
+        return CANOverlay(ids, dims=2)  # TorusZoneMetric
+    if name == "ws":
+        return WattsStrogatzOverlay(len(ids), k=4, p=0.2, rng=rng)  # LatticeMetric
+    raise KeyError(name)
+
+
+def _assert_batches_identical(padded, ragged):
+    for col in (
+        "success", "hops", "neighbor_hops", "long_hops",
+        "reason_codes", "owners",
+    ):
+        assert np.array_equal(getattr(padded, col), getattr(ragged, col)), col
+    if padded.paths is not None or ragged.paths is not None:
+        assert padded.paths == ragged.paths
+
+
+def _route_both_kernels(overlay, sources, keys):
+    padded = route_many_overlay(
+        overlay, sources, keys, record_paths=True, kernel="padded"
+    )
+    ragged = route_many_overlay(
+        overlay, sources, keys, record_paths=True, kernel="ragged"
+    )
+    _assert_batches_identical(padded, ragged)
+    auto = route_many_overlay(
+        overlay, sources, keys, record_paths=True, kernel="auto"
+    )
+    _assert_batches_identical(padded, auto)
+    return ragged
+
+
+class TestSixFamilyParity:
+    """Padded vs ragged, bitwise, for every family × key regime."""
+
+    @pytest.mark.parametrize("name", SIX_FAMILIES)
+    def test_uniform_population(self, name, rng):
+        overlay = _make_family(name, _uniform_ids(192, 71), rng)
+        sources, keys = sample_overlay_lookups(
+            overlay, 200, np.random.default_rng(3), targets="uniform"
+        )
+        _route_both_kernels(overlay, sources, keys)
+
+    @pytest.mark.parametrize("name", SIX_FAMILIES)
+    def test_skewed_population(self, name, rng):
+        overlay = _make_family(name, _skewed_ids(192, 72), rng)
+        sources, keys = sample_overlay_lookups(
+            overlay, 200, np.random.default_rng(4), targets="uniform"
+        )
+        _route_both_kernels(overlay, sources, keys)
+
+    @pytest.mark.parametrize("name", ["chord", "pastry", "pgrid", "symphony"])
+    def test_peer_id_keys(self, name, rng):
+        """Exact-peer keys exercise arrival and the terminal owner hop."""
+        overlay = _make_family(name, _uniform_ids(160, 73), rng)
+        sources, keys = sample_overlay_lookups(
+            overlay, 200, np.random.default_rng(5),
+            targets="peers", target_ids=overlay.ids,
+        )
+        _route_both_kernels(overlay, sources, keys)
+
+
+class TestSkewDegreeParity:
+    """Degree-pathological graphs: hubs, empty rows, dead neighbourhoods."""
+
+    def _hub_graph(self, n=256, hub_links=180, seed=11):
+        """Ring CSR whose node 0 out-degree dwarfs the median (2–5)."""
+        rng = np.random.default_rng(seed)
+        long_counts = rng.integers(0, 4, size=n)
+        long_counts[0] = hub_links
+        long_flat = rng.integers(0, n, size=int(long_counts.sum()))
+        csr = csr_from_flat_links(n, True, long_counts, long_flat)
+        ids = _uniform_ids(n, seed)
+        return csr, GreedyValueMetric(ids, RingSpace()), ids
+
+    def test_hub_row_parity(self):
+        csr, metric, ids = self._hub_graph()
+        rng = np.random.default_rng(21)
+        # Force many walks through the hub: half the sources start there.
+        sources = np.where(
+            rng.random(300) < 0.5, 0, rng.integers(0, csr.n, size=300)
+        ).astype(np.int64)
+        keys = rng.random(300)
+        padded = frontier_route_many(
+            csr, metric, sources, keys, record_paths=True, kernel="padded"
+        )
+        ragged = frontier_route_many(
+            csr, metric, sources, keys, record_paths=True, kernel="ragged"
+        )
+        _assert_batches_identical(padded, ragged)
+        assert padded.success.any()
+
+    def test_hub_fill_ratio_below_one(self):
+        csr, metric, ids = self._hub_graph()
+        rng = np.random.default_rng(22)
+        sources = rng.integers(0, csr.n, size=400)
+        frontier = StreamFrontier(csr, metric, capacity=400)
+        frontier.admit(sources, metric.prepare(rng.random(400)))
+        while frontier.active_count:
+            frontier.step()
+        assert frontier.padded_slots_seen > frontier.candidates_seen
+        assert 0.0 < frontier.fill_ratio < 1.0
+
+    def test_zero_degree_rows_in_live_frontier(self):
+        """Walks on edgeless nodes go stuck alongside advancing walks."""
+        rng = np.random.default_rng(31)
+        n = 96
+        ids = _uniform_ids(n, 31)
+        degrees = rng.integers(1, 6, size=n)
+        degrees[rng.choice(n, size=12, replace=False)] = 0
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = rng.integers(0, n, size=int(indptr[-1])).astype(np.int64)
+        csr = CSRAdjacency(
+            indptr=indptr, indices=indices,
+            is_long=np.zeros(len(indices), dtype=bool),
+        )
+        metric = GreedyValueMetric(ids, RingSpace())
+        sources = np.arange(n, dtype=np.int64)  # every row, empty ones included
+        keys = rng.random(n)
+        padded = frontier_route_many(
+            csr, metric, sources, keys, record_paths=True, kernel="padded"
+        )
+        ragged = frontier_route_many(
+            csr, metric, sources, keys, record_paths=True, kernel="ragged"
+        )
+        _assert_batches_identical(padded, ragged)
+        # The empty rows really were part of the live frontier.
+        empty = degrees[sources] == 0
+        assert (padded.reasons[empty & ~padded.success] == "stuck").all()
+
+    @pytest.mark.parametrize("kill", ["some", "all"])
+    def test_alive_masks(self, kill, rng):
+        """Dead candidates compress out; all-dead rows retire stuck."""
+        graph = build_uniform_model(n=384, rng=rng)
+        wrng = np.random.default_rng(41)
+        sources = wrng.integers(0, graph.n, size=250)
+        keys = wrng.random(250)
+        alive = np.ones(graph.n, dtype=bool)
+        if kill == "some":
+            alive[wrng.choice(graph.n, size=120, replace=False)] = False
+        else:
+            alive[:] = False  # every candidate dead: only sources survive
+        alive[sources] = True
+        padded = route_many(
+            graph, sources, keys, alive=alive, record_paths=True, kernel="padded"
+        )
+        ragged = route_many(
+            graph, sources, keys, alive=alive, record_paths=True, kernel="ragged"
+        )
+        _assert_batches_identical(padded, ragged)
+        if kill == "all":
+            assert (ragged.reasons[~ragged.success] == "stuck").all()
+
+
+class TestStreamingAdmission:
+    """Staggered admit/step interleavings match between kernels."""
+
+    def test_staggered_admission_parity(self, rng):
+        graph = build_uniform_model(n=512, rng=rng)
+        metric = GreedyValueMetric(graph.ids, graph.space)
+        wrng = np.random.default_rng(51)
+        sources = wrng.integers(0, graph.n, size=600)
+        keys = wrng.random(600)
+        chunks = np.array_split(np.arange(600), 7)
+
+        outcomes = {}
+        for kernel in ("padded", "ragged"):
+            frontier = StreamFrontier(
+                graph.adjacency, metric, capacity=64, kernel=kernel
+            )
+            slots = np.empty(600, dtype=np.int64)
+            for chunk in chunks:
+                slots[chunk] = frontier.admit(
+                    sources[chunk], metric.prepare(keys[chunk])
+                )
+                frontier.step()  # interleave rounds between admissions
+            while frontier.active_count:
+                frontier.step()
+            outcomes[kernel] = {
+                col: getattr(frontier, col)[slots].copy()
+                for col in (
+                    "success", "hops", "neighbor_hops", "long_hops",
+                    "reason_codes", "owners",
+                )
+            }
+        for col, expect in outcomes["padded"].items():
+            assert np.array_equal(expect, outcomes["ragged"][col]), col
+
+
+class _PaddedOnlyMetric(RoutingMetric):
+    """A third-party-style metric that only implements the padded API."""
+
+    def __init__(self, inner: GreedyValueMetric):
+        self.inner = inner
+
+    def prepare(self, target_keys, alive=None):
+        return self.inner.prepare(target_keys, alive)
+
+    def initial_scores(self, nodes, state):
+        return self.inner.initial_scores(nodes, state)
+
+    def candidate_scores(self, candidates, slots, usable, state, walks, current):
+        return self.inner.candidate_scores(
+            candidates, slots, usable, state, walks, current
+        )
+
+
+class TestDefaultAdapter:
+    def test_padded_only_metric_routes_under_ragged(self, rng):
+        graph = build_uniform_model(n=256, rng=rng)
+        metric = _PaddedOnlyMetric(GreedyValueMetric(graph.ids, graph.space))
+        wrng = np.random.default_rng(61)
+        sources = wrng.integers(0, graph.n, size=200)
+        keys = wrng.random(200)
+        padded = frontier_route_many(
+            graph.adjacency, metric, sources, keys,
+            record_paths=True, kernel="padded",
+        )
+        ragged = frontier_route_many(
+            graph.adjacency, metric, sources, keys,
+            record_paths=True, kernel="ragged",
+        )
+        _assert_batches_identical(padded, ragged)
+
+
+class TestKernelPlumbing:
+    def test_unknown_kernel_rejected(self, rng):
+        graph = build_uniform_model(n=64, rng=rng)
+        metric = GreedyValueMetric(graph.ids, graph.space)
+        with pytest.raises(ValueError, match="unknown frontier kernel"):
+            StreamFrontier(graph.adjacency, metric, kernel="jagged")
+        with pytest.raises(ValueError, match="unknown frontier kernel"):
+            frontier_route_many(
+                graph.adjacency, metric, [0], [0.5], kernel="dense"
+            )
+        with pytest.raises(ValueError, match="unknown frontier kernel"):
+            ServeConfig(kernel="sparse")
+
+    def test_auto_dispatch_picks_layout_by_fill(self, rng, monkeypatch):
+        """auto routes dense rounds padded and padding-heavy rounds ragged."""
+        calls = {"ragged": 0, "padded": 0}
+        orig_ragged = StreamFrontier._advance_ragged
+        orig_padded = StreamFrontier._advance_padded
+
+        def spy_ragged(self, *args):
+            calls["ragged"] += 1
+            return orig_ragged(self, *args)
+
+        def spy_padded(self, *args):
+            calls["padded"] += 1
+            return orig_padded(self, *args)
+
+        monkeypatch.setattr(StreamFrontier, "_advance_ragged", spy_ragged)
+        monkeypatch.setattr(StreamFrontier, "_advance_padded", spy_padded)
+
+        def drive(csr, metric, sources, keys):
+            frontier = StreamFrontier(
+                csr, metric, capacity=len(sources), kernel="auto"
+            )
+            frontier.admit(sources, metric.prepare(keys))
+            while frontier.active_count:
+                frontier.step()
+
+        # Degree-uniform lattice: fill is 1.0 every round -> all padded.
+        overlay = WattsStrogatzOverlay(128, k=2, p=0.0, rng=rng)
+        csr, metric = overlay._frontier()
+        wrng = np.random.default_rng(71)
+        drive(csr, metric, wrng.integers(0, 128, size=100), wrng.random(100))
+        assert calls["padded"] > 0 and calls["ragged"] == 0
+
+        # One 180-degree hub among degree ~4 rows: any round containing
+        # the hub is overwhelmingly padding -> the ragged layout runs.
+        calls["ragged"] = calls["padded"] = 0
+        hrng = np.random.default_rng(72)
+        long_counts = hrng.integers(0, 4, size=256)
+        long_counts[0] = 180
+        long_flat = hrng.integers(0, 256, size=int(long_counts.sum()))
+        hub_csr = csr_from_flat_links(256, True, long_counts, long_flat)
+        hub_metric = GreedyValueMetric(_uniform_ids(256, 72), RingSpace())
+        sources = np.zeros(200, dtype=np.int64)
+        sources[100:] = hrng.integers(0, 256, size=100)
+        drive(hub_csr, hub_metric, sources, hrng.random(200))
+        assert calls["ragged"] > 0
+
+    def test_uniform_degree_frontier_is_padding_free(self, rng):
+        """An unrewired WS ring is degree-uniform: fill ratio exactly 1."""
+        overlay = WattsStrogatzOverlay(128, k=2, p=0.0, rng=rng)
+        csr, metric = overlay._frontier()
+        wrng = np.random.default_rng(81)
+        sources = wrng.integers(0, 128, size=100)
+        keys = wrng.random(100)
+        for kernel in ("padded", "ragged"):
+            frontier = StreamFrontier(csr, metric, capacity=100, kernel=kernel)
+            frontier.admit(sources, metric.prepare(keys))
+            while frontier.active_count:
+                frontier.step()
+            assert frontier.fill_ratio == 1.0
+        _route_both_kernels(overlay, sources, keys)
+
+    def test_telemetry_counters_and_fill_gauge(self, rng):
+        graph = build_uniform_model(n=256, rng=rng)
+        wrng = np.random.default_rng(91)
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            route_many(graph, wrng.integers(0, graph.n, 300), wrng.random(300))
+            registry = telemetry.get_registry()
+            candidates = registry.counter("routing.frontier.candidates").value
+            padded_slots = registry.counter("routing.frontier.padded_slots").value
+            assert candidates > 0
+            assert padded_slots >= candidates
+            gauge = registry.gauge("routing.frontier.fill_ratio").value
+            assert gauge == pytest.approx(candidates / padded_slots)
+        finally:
+            telemetry.disable()
+
+    def test_counters_kernel_independent(self, rng):
+        """Both kernels see the same frontier, so the stats must agree."""
+        graph = build_uniform_model(n=256, rng=rng)
+        metric = GreedyValueMetric(graph.ids, graph.space)
+        wrng = np.random.default_rng(92)
+        sources = wrng.integers(0, graph.n, size=300)
+        keys = wrng.random(300)
+        stats = {}
+        for kernel in ("padded", "ragged"):
+            frontier = StreamFrontier(
+                graph.adjacency, metric, capacity=300, kernel=kernel
+            )
+            frontier.admit(sources, metric.prepare(keys))
+            while frontier.active_count:
+                frontier.step()
+            stats[kernel] = (frontier.candidates_seen, frontier.padded_slots_seen)
+        assert stats["padded"] == stats["ragged"]
+
+
+class TestServingKernelParity:
+    def test_engine_outcomes_identical_across_kernels(self, rng):
+        graph = build_uniform_model(n=512, rng=rng)
+        wrng = np.random.default_rng(101)
+        sources = wrng.integers(0, graph.n, size=2000)
+        keys = graph.ids[wrng.integers(0, graph.n, size=2000)]
+        results = {}
+        for kernel in ("padded", "ragged", "auto"):
+            engine = ServingEngine(
+                graph,
+                ServeConfig(admit_per_round=128, max_active=256, kernel=kernel),
+            )
+            engine.submit(sources, keys)
+            engine.drain()
+            res = engine.results()
+            results[kernel] = res
+            report = engine.report()
+            assert report.extras["kernel"] == kernel
+            assert 0.0 < report.extras["frontier_fill_ratio"] <= 1.0
+        for other in ("ragged", "auto"):
+            for col in (
+                "owners", "hops", "neighbor_hops", "long_hops",
+                "success", "reason_codes",
+            ):
+                assert np.array_equal(
+                    getattr(results["padded"], col),
+                    getattr(results[other], col),
+                ), f"{other}:{col}"
