@@ -1,0 +1,196 @@
+"""The monitor: observability must be (nearly) free.
+
+Gates :mod:`repro.monitor` on one promise: a fully-monitored serving
+session — window series + anomaly detectors + health probes + 1-in-64
+flight-recorder sampling, with telemetry enabled — sustains **>= 95%**
+of the same workload's un-monitored throughput.  The determinism
+contract is asserted alongside on every run: the monitored and
+un-monitored streams produce bit-identical per-query outcome columns
+(monitoring observes; it never perturbs).
+
+A second layer checks the flight recorder's exports end-to-end: the
+sampled set is the deterministic hash choice, the Chrome trace JSON is
+structurally valid, and every per-round span chain replays to exactly
+the hop count the live walk reported.
+
+Every layer appends to ``benchmarks/results/BENCH_monitor.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import GraphConfig, build_uniform_model
+from repro.monitor import FlightRecorder, Monitor, MonitorConfig, sample_mask
+from repro.serving import DemandModel, ServeConfig, ServingEngine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY = RESULTS_DIR / "BENCH_monitor.json"
+
+N_PEERS = 200_000
+N_QUERIES = 120_000
+N_USERS = 20_000
+SAMPLE_RATE = 64
+OVERHEAD_GATE = 0.95  # monitored throughput >= 95% of un-monitored
+# Balanced measurement schedule: each side runs 4 times, mirrored so
+# neither side is systematically earlier (clock-boost decay otherwise
+# flatters whichever side runs first).  The gate compares per-side
+# medians — robust to one-off scheduling spikes in either direction.
+SCHEDULE = (False, True, True, False, True, False, False, True)
+
+_OUTCOME_COLS = (
+    "owners", "hops", "neighbor_hops", "long_hops", "success",
+    "reason_codes", "cache_hit",
+)
+
+
+def _record_trajectory(entry: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    history = json.loads(TRAJECTORY.read_text()) if TRAJECTORY.exists() else []
+    history.append(entry)
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = build_uniform_model(
+        N_PEERS, np.random.default_rng(3), GraphConfig(out_degree=8)
+    )
+    _ = g.adjacency
+    return g
+
+
+def _serve(graph, monitored: bool):
+    """One full serving session; returns (report, results, recorder)."""
+    rng = np.random.default_rng(5)
+    demand = DemandModel(
+        graph.ids, n_users=N_USERS, n_peers=graph.n, rng=rng
+    )
+    engine = ServingEngine(
+        graph,
+        ServeConfig(admit_per_round=4096, max_active=32_768, cache_capacity=8192),
+    )
+    recorder = None
+    if monitored:
+        telemetry.enable()
+        monitor = Monitor(engine, MonitorConfig(window=4096))
+        recorder = FlightRecorder(engine, sample_rate=SAMPLE_RATE)
+        engine.attach_monitor(monitor)
+        engine.attach_recorder(recorder)
+    try:
+        report = engine.serve(demand, N_QUERIES, rng)
+    finally:
+        if monitored:
+            telemetry.disable()
+    return report, engine.results(), recorder
+
+
+def _balanced_serves(graph):
+    """Run the mirrored schedule; return per-side median runs.
+
+    Every run is fully seeded, so outcome columns are identical across
+    repeats and only the timing varies.  The median run of each side is
+    returned (ties broken toward the faster run of the middle pair).
+    """
+    runs: dict[bool, list] = {False: [], True: []}
+    for monitored in SCHEDULE:
+        runs[monitored].append(_serve(graph, monitored))
+    medians = {}
+    for side, side_runs in runs.items():
+        side_runs.sort(key=lambda run: run[0].lookups_per_sec)
+        medians[side] = side_runs[len(side_runs) // 2]
+    return medians[False], medians[True]
+
+
+def test_monitor_overhead_gate(graph):
+    """The PR gate: monitored serving >= 95% of un-monitored throughput.
+
+    Outcome-column parity between the two runs is asserted always —
+    the monitor must observe without perturbing.
+    """
+    # One re-measure on a below-gate first schedule: the gate fails only
+    # when two independent schedules both show >5% overhead, which a
+    # noisy-neighbour spike cannot produce on its own.
+    for _attempt in range(2):
+        (base_report, base_results, _), (mon_report, mon_results, recorder) = (
+            _balanced_serves(graph)
+        )
+        for col in _OUTCOME_COLS:
+            assert np.array_equal(
+                getattr(base_results, col), getattr(mon_results, col)
+            ), f"monitoring perturbed outcome column {col!r}"
+        ratio = mon_report.lookups_per_sec / base_report.lookups_per_sec
+        if ratio >= OVERHEAD_GATE:
+            break
+    print(
+        f"\nmonitor overhead at n={N_PEERS}, {N_QUERIES} queries, "
+        f"1-in-{SAMPLE_RATE} tracing: "
+        f"{base_report.lookups_per_sec:,.0f} -> "
+        f"{mon_report.lookups_per_sec:,.0f} lookups/s "
+        f"({ratio:.3f}x, sampled {recorder.n_sampled})"
+    )
+    print(f"gate: monitored >= {OVERHEAD_GATE:.0%} of un-monitored")
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": "monitor_overhead",
+            "n": N_PEERS,
+            "queries": N_QUERIES,
+            "sample_rate": SAMPLE_RATE,
+            "baseline_lookups_per_sec": base_report.lookups_per_sec,
+            "monitored_lookups_per_sec": mon_report.lookups_per_sec,
+            "throughput_ratio": ratio,
+            "n_sampled": recorder.n_sampled,
+            "outcome_parity": True,
+            "gate": OVERHEAD_GATE,
+        }
+    )
+    assert ratio >= OVERHEAD_GATE, (
+        f"monitored serving at {ratio:.3f}x of un-monitored throughput, "
+        f"below the {OVERHEAD_GATE:.0%} gate"
+    )
+
+
+def test_flight_recorder_export(graph):
+    """Sampled set is the hash choice; Chrome export is valid and replays true."""
+    _, results, recorder = _serve(graph, monitored=True)
+    expected = sample_mask(results.sources, results.keys, SAMPLE_RATE)
+    sampled = sorted(recorder._tickets)
+    assert sampled == sorted(np.flatnonzero(expected).tolist())
+    # traces(verify=True) raises if any replayed hop chain disagrees
+    # with the engine's outcome log.
+    traces = recorder.traces(verify=True)
+    assert len(traces) == len(sampled)
+    out = RESULTS_DIR / "monitor_chrome_trace.json"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    n_events = recorder.export_chrome_trace(out)
+    payload = json.loads(out.read_text())
+    assert isinstance(payload["traceEvents"], list)
+    assert len(payload["traceEvents"]) == n_events
+    lookups = [e for e in payload["traceEvents"] if e["name"] == "lookup"]
+    assert len(lookups) == len(traces)
+    for event in payload["traceEvents"]:
+        assert event["ph"] == "X"
+        assert {"name", "ts", "dur", "pid", "tid", "args"} <= set(event)
+    print(
+        f"\nflight recorder: {len(traces)} sampled lookups, "
+        f"{n_events} Chrome trace events, replay verified"
+    )
+    _record_trajectory(
+        {
+            "timestamp": time.time(),
+            "kind": "flight_recorder_export",
+            "n": N_PEERS,
+            "queries": N_QUERIES,
+            "sample_rate": SAMPLE_RATE,
+            "n_sampled": len(sampled),
+            "chrome_events": n_events,
+            "replay_verified": True,
+        }
+    )

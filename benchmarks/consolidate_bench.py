@@ -7,6 +7,12 @@ per benchmark, the entry count, the latest entry of each measurement
 ``kind``, and the speedup trend where entries carry one — so a single
 file answers "how fast is every engine right now, and is it regressing?"
 
+The summary is a *snapshot* — each run overwrites it.  Cross-PR history
+lives in ``BENCH_trajectory.json``: an append-mode list with one entry
+per consolidation run, keyed by git SHA and wall time, carrying every
+benchmark's latest per-kind measurements.  Overwriting the summary (or
+even wiping individual trajectories) no longer loses perf history.
+
 Run directly (``python benchmarks/consolidate_bench.py``) or let
 ``ci.sh`` do it after the benchmark smokes.
 """
@@ -17,11 +23,16 @@ import json
 import os
 import pathlib
 import platform
+import subprocess
 import sys
 import time
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SUMMARY = RESULTS_DIR / "BENCH_summary.json"
+TRAJECTORY = RESULTS_DIR / "BENCH_trajectory.json"
+
+#: Keep the append-mode trajectory bounded (oldest entries dropped).
+TRAJECTORY_CAP = 500
 
 #: Entry fields recognised as that measurement's wall-clock cost, in
 #: preference order (benchmarks record one of these; older trajectories
@@ -86,11 +97,64 @@ def _speedup_trend(entries: list[dict]) -> dict | None:
     }
 
 
+def git_sha() -> str | None:
+    """The working tree's HEAD SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def append_trajectory(
+    summary: dict, trajectory_path: pathlib.Path = TRAJECTORY
+) -> dict:
+    """Append this run's per-kind latests to the cross-run trajectory.
+
+    Each entry records when the consolidation ran, on which commit, and
+    every benchmark's ``latest_by_kind`` measurements — enough to plot
+    any gated number across PRs even though ``BENCH_summary.json`` is
+    overwritten per run.  A corrupt trajectory file is preserved as
+    ``.corrupt`` rather than silently clobbered.  Returns the appended
+    entry.
+    """
+    entry = {
+        "generated_at": summary["generated_at"],
+        "git_sha": git_sha(),
+        "host": summary["host"],
+        "benchmarks": {
+            name: doc.get("latest_by_kind", {})
+            for name, doc in summary["benchmarks"].items()
+            if isinstance(doc, dict)
+        },
+    }
+    history: list = []
+    if trajectory_path.exists():
+        try:
+            history = json.loads(trajectory_path.read_text())
+            if not isinstance(history, list):
+                raise ValueError("trajectory root is not a list")
+        except (OSError, json.JSONDecodeError, ValueError):
+            trajectory_path.rename(
+                trajectory_path.with_suffix(trajectory_path.suffix + ".corrupt")
+            )
+            history = []
+    history.append(entry)
+    history = history[-TRAJECTORY_CAP:]
+    trajectory_path.write_text(json.dumps(history, indent=2) + "\n")
+    return entry
+
+
 def consolidate(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
     """Build the summary document from every trajectory on disk."""
     benchmarks: dict[str, dict] = {}
     for path in sorted(results_dir.glob("BENCH_*.json")):
-        if path.name == SUMMARY.name:
+        if path.name in (SUMMARY.name, TRAJECTORY.name):
             continue
         try:
             entries = json.loads(path.read_text())
@@ -132,6 +196,10 @@ def main() -> int:
     print(
         f"BENCH_summary.json: {summary['trajectories']} trajectories ({names})"
     )
+    entry = append_trajectory(summary)
+    runs = len(json.loads(TRAJECTORY.read_text()))
+    sha = entry["git_sha"] or "no-git"
+    print(f"BENCH_trajectory.json: {runs} runs recorded (this run: {sha[:12]})")
     return 0
 
 

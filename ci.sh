@@ -46,6 +46,9 @@ if [[ "${1:-}" != "--no-smoke" ]]; then
   echo "== serving smoke (stream-vs-batch parity + sustained-throughput gate at 1e6) =="
   python -m pytest benchmarks/bench_serving.py -q -s
 
+  echo "== monitor smoke (<=5% monitored-serving overhead + flight-recorder export) =="
+  python -m pytest benchmarks/bench_monitor.py -q -s
+
   echo "== consolidating BENCH_*.json trajectories =="
   python benchmarks/consolidate_bench.py
 fi

@@ -154,6 +154,14 @@ class BatchRouteResult:
         paths: per-route visited-node lists, only populated when
             ``record_paths=True`` was requested (path recording is the
             one part of the result that cannot be a rectangular array).
+        rounds: frontier rounds the batch took (0 when unknown, e.g.
+            results assembled outside :func:`frontier_route_many`).
+        candidates_seen: real candidates gathered across those rounds.
+        padded_slots_seen: dense ``frontier × max_degree`` slots the
+            padded layout would have paid for the same rounds.  The
+            three stats are per-route-order-independent totals, so the
+            sharded dispatcher sums them across shards without breaking
+            the bit-identity contract.
     """
 
     success: np.ndarray
@@ -165,6 +173,9 @@ class BatchRouteResult:
     target_keys: np.ndarray
     owners: np.ndarray
     paths: list[list[int]] | None = None
+    rounds: int = 0
+    candidates_seen: int = 0
+    padded_slots_seen: int = 0
 
     def __len__(self) -> int:
         return len(self.hops)
@@ -913,6 +924,12 @@ class StreamFrontier:
         #: layout pays for the same rounds — the padding-waste observables.
         self.candidates_seen = 0
         self.padded_slots_seen = 0
+        #: What the most recent round did: which kernel scored it and how
+        #: many real candidates / padded slots it gathered.  Read by the
+        #: per-round trace and by the flight recorder's replay driver.
+        self.last_round_kernel = "none"
+        self.last_round_candidates = 0
+        self.last_round_padded_slots = 0
         # Reused per-round scratch: one growable arange buffer serves as
         # both the lane ramp and the flat-position ramp (its contents are
         # never mutated, so multiple live views stay valid across growth),
@@ -1123,10 +1140,10 @@ class StreamFrontier:
         if frontier.size == 0:
             return frontier
         self.rounds += 1
-        if telemetry.enabled():
-            telemetry.trace(
-                "routing.round", round=self.rounds, active=int(frontier.size)
-            )
+        entered = int(frontier.size)
+        self.last_round_kernel = "none"
+        self.last_round_candidates = 0
+        self.last_round_padded_slots = 0
         retired: list[np.ndarray] = []
         # Budget check first, mirroring the scalar routers' loop heads.
         exhausted = self.hops[frontier] >= self.max_hops
@@ -1138,6 +1155,15 @@ class StreamFrontier:
             frontier = frontier[~exhausted]
         if frontier.size:
             retired.extend(self._advance(frontier))
+        if telemetry.enabled():
+            telemetry.trace(
+                "routing.round",
+                round=self.rounds,
+                active=entered,
+                kernel=self.last_round_kernel,
+                candidates=self.last_round_candidates,
+                padded_slots=self.last_round_padded_slots,
+            )
         if len(retired) == 1:
             out = retired[0]
         elif retired:
@@ -1175,10 +1201,13 @@ class StreamFrontier:
         padded_slots = frontier.size * max_degree
         self.candidates_seen += n_candidates
         self.padded_slots_seen += padded_slots
+        self.last_round_candidates = n_candidates
+        self.last_round_padded_slots = padded_slots
         if telemetry.enabled():
             telemetry.count("routing.frontier.candidates", n_candidates)
             telemetry.count("routing.frontier.padded_slots", padded_slots)
         if max_degree == 0:
+            self.last_round_kernel = "stuck"
             self.reason_codes[frontier] = REASON_STUCK
             self.active[frontier] = False
             return [frontier]
@@ -1186,7 +1215,9 @@ class StreamFrontier:
             self.kernel == "auto"
             and n_candidates < _AUTO_FILL_CUTOFF * padded_slots
         ):
+            self.last_round_kernel = "ragged"
             return self._advance_ragged(frontier, cur, starts, degrees)
+        self.last_round_kernel = "padded"
         return self._advance_padded(frontier, cur, starts, degrees, max_degree)
 
     def _advance_padded(
@@ -1546,6 +1577,9 @@ def frontier_route_many(
         target_keys=target_keys,
         owners=owners,
         paths=paths,
+        rounds=frontier.rounds,
+        candidates_seen=frontier.candidates_seen,
+        padded_slots_seen=frontier.padded_slots_seen,
     )
 
 

@@ -14,7 +14,11 @@ Subcommands:
   route a lookup batch over it;
 * ``serve`` — stream heavy-tailed lookup traffic through the
   :mod:`repro.serving` engine (from a snapshot or a fresh build) and
-  print the p50/p99/p999 SLO report.
+  print the p50/p99/p999 SLO report; ``--monitor`` attaches the
+  :mod:`repro.monitor` observatory (scrape endpoint, anomaly flags,
+  optional flight-recorder trace export);
+* ``monitor`` — the same monitored serving loop with a live ASCII
+  dashboard refreshing sparklines and alert states between batches.
 """
 
 from __future__ import annotations
@@ -134,53 +138,112 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p = sub.add_parser(
         "serve", help="stream lookup traffic through the serving engine"
     )
+    _add_serving_args(serve_p)
     serve_p.add_argument(
+        "--monitor", action="store_true",
+        help=(
+            "attach the repro.monitor observatory: window series, anomaly "
+            "flags, health probes and an HTTP /metrics + /health scrape "
+            "endpoint (implies telemetry collection)"
+        ),
+    )
+    _add_monitor_args(serve_p)
+    _add_telemetry_flag(serve_p)
+
+    monitor_p = sub.add_parser(
+        "monitor",
+        help=(
+            "monitored serving loop with a live ASCII dashboard "
+            "(sparklines, SLO burn rates, alerts)"
+        ),
+    )
+    _add_serving_args(monitor_p)
+    _add_monitor_args(monitor_p)
+    monitor_p.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="dashboard frame period",
+    )
+    monitor_p.add_argument(
+        "--no-clear", action="store_true",
+        help="print frames sequentially instead of clearing the screen",
+    )
+    _add_telemetry_flag(monitor_p)
+    return parser
+
+
+def _add_serving_args(p: argparse.ArgumentParser) -> None:
+    """The serving-engine argument block shared by ``serve`` and ``monitor``."""
+    p.add_argument(
         "--store", default=None, metavar="PATH",
         help="serve from this snapshot (default: build a fresh graph)",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--n", type=_positive_int, default=100_000,
         help="peers for the fresh build when --store is not given",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--model", choices=("uniform", "skewed", "naive"), default="uniform",
         help="model family for the fresh build",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--alpha", type=float, default=2.5,
         help="power-law exponent for the skewed/naive populations",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--queries", type=_positive_int, default=100_000,
         help="how many lookups to stream through the engine",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--users", type=_positive_int, default=10_000,
         help="user-population size of the demand model",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--affinity", type=float, default=0.8,
         help="probability a query re-asks the user's home key",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--batch", type=_positive_int, default=4096, metavar="B",
         help="admission micro-batch width (queries per frontier round)",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--cache", type=int, default=4096, metavar="C",
         help="hot-key route-cache capacity (0 disables the cache)",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--workers", type=_positive_int, default=None, metavar="N",
         help="route admitted micro-batches over N worker processes",
     )
-    serve_p.add_argument(
+    p.add_argument(
         "--kernel", choices=("auto", "ragged", "padded"), default="auto",
         help="frontier round layout (bit-identical outcomes)",
     )
-    serve_p.add_argument("--seed", type=int, default=0, help="random seed")
-    _add_telemetry_flag(serve_p)
-    return parser
+    p.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_monitor_args(p: argparse.ArgumentParser) -> None:
+    """Observability knobs shared by ``serve --monitor`` and ``monitor``."""
+    p.add_argument(
+        "--monitor-port", type=int, default=0, metavar="PORT",
+        help="scrape-endpoint port (default 0: pick an ephemeral port)",
+    )
+    p.add_argument(
+        "--window", type=_positive_int, default=4096, metavar="W",
+        help="monitor ticket-window width (deterministic series cadence)",
+    )
+    p.add_argument(
+        "--trace-sample", type=int, default=0, metavar="N",
+        help=(
+            "flight-record 1 in N queries (deterministic hash sampling); "
+            "0 disables the recorder"
+        ),
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help=(
+            "write the sampled flight-recorder traces as Chrome trace "
+            "JSON (Perfetto-loadable); .jsonl suffix writes JSONL instead"
+        ),
+    )
 
 
 def _cmd_list() -> int:
@@ -264,7 +327,11 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serving_setup(args: argparse.Namespace):
+    """Load-or-build the graph and stand up demand + engine (serve/monitor).
+
+    Returns ``(engine, demand, rng)``, or an exit status int on error.
+    """
     from repro.serving import DemandModel, ServeConfig, ServingEngine
 
     rng = np.random.default_rng(args.seed)
@@ -310,9 +377,120 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             kernel=args.kernel,
         ),
     )
-    report = engine.serve(demand, args.queries, rng)
+    return engine, demand, rng
+
+
+def _attach_observability(engine, args: argparse.Namespace):
+    """Attach monitor, optional recorder, and the scrape endpoint.
+
+    Returns ``(monitor, recorder, scrape)``; enables telemetry so the
+    scrape endpoint has a registry to render.
+    """
+    from repro import telemetry
+    from repro.monitor import (
+        FlightRecorder,
+        Monitor,
+        MonitorConfig,
+        ScrapeServer,
+    )
+
+    telemetry.enable()
+    monitor = Monitor(engine, MonitorConfig(window=args.window))
+    engine.attach_monitor(monitor)
+    recorder = None
+    if args.trace_sample:
+        recorder = FlightRecorder(engine, sample_rate=args.trace_sample)
+        engine.attach_recorder(recorder)
+    scrape = ScrapeServer(monitor, port=args.monitor_port).start()
+    print(
+        f"[monitor] scraping at {scrape.url}/metrics "
+        f"(health: {scrape.url}/health, series: {scrape.url}/series)"
+    )
+    return monitor, recorder, scrape
+
+
+def _export_traces(recorder, args: argparse.Namespace) -> None:
+    if recorder is None or args.trace_out is None:
+        return
+    if str(args.trace_out).endswith(".jsonl"):
+        n = recorder.export_jsonl(args.trace_out)
+        print(f"[monitor] {n} flight-recorder traces written to {args.trace_out}")
+    else:
+        n = recorder.export_chrome_trace(args.trace_out)
+        print(
+            f"[monitor] {n} Chrome trace events written to {args.trace_out} "
+            "(load in Perfetto / chrome://tracing)"
+        )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    setup = _serving_setup(args)
+    if isinstance(setup, int):
+        return setup
+    engine, demand, rng = setup
+    monitor = scrape = recorder = None
+    if args.monitor or args.trace_sample:
+        monitor, recorder, scrape = _attach_observability(engine, args)
+    try:
+        report = engine.serve(demand, args.queries, rng)
+    finally:
+        if scrape is not None:
+            scrape.stop()
     print()
     print(report.render())
+    if monitor is not None:
+        import json
+
+        verdict = monitor.health()
+        print()
+        print(
+            f"[monitor] health: {verdict['status']}  "
+            f"windows {verdict['windows_emitted']}  "
+            f"alerts {verdict['n_alerts_total']}"
+        )
+        if verdict["status"] != "ok":
+            print(json.dumps(verdict, indent=2))
+    _export_traces(recorder, args)
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.monitor import render_dashboard
+
+    setup = _serving_setup(args)
+    if isinstance(setup, int):
+        return setup
+    engine, demand, rng = setup
+    monitor, recorder, scrape = _attach_observability(engine, args)
+    chunk = max(4 * engine.config.admit_per_round, 8192)
+    target = args.queries
+    submitted = 0
+    last_frame = float("-inf")
+    started = time.perf_counter()
+    try:
+        while engine.completed < target:
+            if submitted < target and len(engine._queue) < chunk:
+                m = min(chunk, target - submitted)
+                _, sources, keys = demand.draw(m, rng)
+                engine.submit(sources, keys)
+                submitted += m
+            engine.pump()
+            now = time.monotonic()
+            if now - last_frame >= args.refresh:
+                print(render_dashboard(monitor, clear=not args.no_clear))
+                last_frame = now
+        print(render_dashboard(monitor, clear=not args.no_clear))
+    except KeyboardInterrupt:
+        print("\n[monitor] interrupted")
+    finally:
+        scrape.stop()
+    print()
+    print(
+        engine.report(
+            seconds=time.perf_counter() - started, n_queries=engine.completed
+        ).render()
+    )
+    _export_traces(recorder, args)
     return 0
 
 
@@ -350,6 +528,8 @@ def main(argv: list[str] | None = None) -> int:
         return _telemetry_wrap(args, _cmd_load)
     if args.command == "serve":
         return _telemetry_wrap(args, _cmd_serve)
+    if args.command == "monitor":
+        return _telemetry_wrap(args, _cmd_monitor)
     return _telemetry_wrap(args, _cmd_run)
 
 

@@ -1,0 +1,356 @@
+"""The monitor driver: windows, series, anomaly flags, health verdicts.
+
+:class:`Monitor` attaches to a :class:`~repro.serving.engine.
+ServingEngine` (``engine.attach_monitor(monitor)``) and is called once
+per pump.  It maintains two series banks:
+
+* the **deterministic bank** — one sample per completed *ticket window*
+  ``[k·W, (k+1)·W)``, computed from the engine's ticket-ordered outcome
+  columns the moment every ticket in the window has completed.  Because
+  those columns are identical for any worker count (the serving
+  determinism contract), so is every sample in this bank, bit for bit.
+  Window statistics: routed mean hops, success rate, cache hit-rate,
+  stuck rate, hop inflation vs. the paper baseline, and the chi-square
+  drift of the retirement-reason mix against the first window.
+* the **wall bank** — wall-clock cadence samples of live operational
+  state (throughput, in-flight, pending, frontier fill ratio, latency
+  quantiles).  Dashboard fuel, explicitly outside the determinism
+  contract — exactly like the telemetry layer's timers.
+
+Each deterministic series feeds an EWMA z-score detector
+(:class:`~repro.monitor.anomaly.EwmaDetector`); flagged windows append
+to :attr:`Monitor.alerts`.  Window stats are also evaluated against an
+:class:`~repro.monitor.anomaly.SloPolicy` into burn rates, and a
+:class:`~repro.monitor.probes.HealthProbe` runs on a wall-clock
+cadence (``probe_cadence_seconds`` — probes are operational health
+checks, so they pace like one, not per ticket throughput).
+:meth:`Monitor.health` folds all of it into one JSON verdict (the
+scrape endpoint's ``/health`` body).
+
+When telemetry is enabled, window stats and probe scores are mirrored
+into ``monitor.*`` gauges so the Prometheus exposition carries them.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.monitor.anomaly import (
+    EwmaDetector,
+    SloPolicy,
+    chi_square_distance,
+    evaluate_slo,
+    hop_baseline,
+)
+from repro.monitor.probes import HealthProbe
+from repro.monitor.series import SeriesBank
+
+__all__ = ["Monitor", "MonitorConfig", "Alert"]
+
+#: Deterministic per-window series names (the determinism-contract set).
+WINDOW_SERIES = (
+    "window.hops_mean",
+    "window.success_rate",
+    "window.cache_hit_rate",
+    "window.stuck_rate",
+    "window.hop_inflation",
+    "window.reason_chi2",
+)
+
+
+@dataclass
+class MonitorConfig:
+    """Knobs for :class:`Monitor`.
+
+    Attributes:
+        window: ticket-window width W — deterministic series emit one
+            sample per W completed tickets.
+        series_capacity: ring capacity of every series.
+        cadence_seconds: wall-clock sampling period for the wall bank.
+        ewma_alpha / z_threshold / warmup_windows: anomaly detector
+            parameters (see :class:`~repro.monitor.anomaly.EwmaDetector`).
+        slo: SLO targets evaluated per window.
+        probe_cadence_seconds: wall-clock period of the health probe
+            (first probe fires one period in); 0 disables probing.
+            Probes cost real routing work, so they pace on the clock —
+            like a liveness check — never per ticket throughput.
+        probe_n: probe workload size.
+        probe_seed: probe workload seed.
+    """
+
+    window: int = 4096
+    series_capacity: int = 512
+    cadence_seconds: float = 0.25
+    ewma_alpha: float = 0.2
+    z_threshold: float = 4.0
+    warmup_windows: int = 8
+    slo: SloPolicy = field(default_factory=SloPolicy)
+    probe_cadence_seconds: float = 5.0
+    probe_n: int = 256
+    probe_seed: int = 0xC0FFEE
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.series_capacity < 1:
+            raise ValueError(
+                f"series_capacity must be >= 1, got {self.series_capacity}"
+            )
+
+
+@dataclass
+class Alert:
+    """One flagged window: which series alarmed, how hard, and when."""
+
+    window: int
+    series: str
+    value: float
+    z: float
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "series": self.series,
+            "value": self.value,
+            "z": self.z,
+        }
+
+
+class Monitor:
+    """Continuous observability over one serving engine.
+
+    Args:
+        engine: the :class:`~repro.serving.engine.ServingEngine`.
+        config: see :class:`MonitorConfig`.
+        clock: injectable wall clock for the wall bank (tests).
+    """
+
+    def __init__(self, engine, config: MonitorConfig | None = None, *, clock=None):
+        self.engine = engine
+        self.config = config or MonitorConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        cap = self.config.series_capacity
+        self.bank = SeriesBank(cap)
+        self.wall_bank = SeriesBank(cap)
+        self.detectors = {
+            name: EwmaDetector(
+                alpha=self.config.ewma_alpha,
+                z_threshold=self.config.z_threshold,
+                warmup=self.config.warmup_windows,
+            )
+            for name in WINDOW_SERIES
+        }
+        self.alerts: list[Alert] = []
+        self.windows_emitted = 0
+        self.last_window_stats: dict = {}
+        self.last_slo: list = []
+        self.last_probe = None
+        self._complete_prefix = 0
+        self._baseline_reasons: np.ndarray | None = None
+        self._hop_baseline = hop_baseline(
+            engine.csr.n,
+            float(np.asarray(engine.csr.out_degrees(), dtype=float).mean())
+            if engine.csr.n
+            else 1.0,
+        )
+        self._probe = (
+            HealthProbe.for_engine(
+                engine, n_probes=self.config.probe_n, seed=self.config.probe_seed
+            )
+            if self.config.probe_cadence_seconds > 0
+            else None
+        )
+        self._last_wall_sample = float("-inf")
+        self._last_wall_completed = 0
+        self._last_probe_at = self._clock()
+
+    # ------------------------------------------------------------------
+    # pump hook
+    # ------------------------------------------------------------------
+    def after_pump(self) -> int:
+        """Advance windows and cadence sampling; returns windows emitted.
+
+        Called by the engine at the end of every pump (one attribute
+        check + this call is the whole hot-path cost of monitoring).
+        """
+        emitted = self._advance_windows()
+        now = self._clock()
+        if now - self._last_wall_sample >= self.config.cadence_seconds:
+            self._sample_wall(now)
+        if (
+            self._probe is not None
+            and now - self._last_probe_at >= self.config.probe_cadence_seconds
+        ):
+            self._last_probe_at = now
+            self.run_probe()
+        return emitted
+
+    def _advance_windows(self) -> int:
+        """Emit every ticket window that has fully completed."""
+        log = self.engine._log
+        n_tickets = self.engine._next_ticket
+        completed = log.completed
+        prefix = self._complete_prefix
+        # Vectorized prefix advance: march in blocks, stopping at the
+        # first un-completed ticket (argmin of a bool block finds the
+        # first False).  Amortized O(1) numpy work per completed ticket.
+        while prefix < n_tickets:
+            block = completed[prefix : min(prefix + 8192, n_tickets)]
+            if block.all():
+                prefix += len(block)
+                continue
+            prefix += int(np.argmin(block))
+            break
+        self._complete_prefix = prefix
+        emitted = 0
+        w = self.config.window
+        while (self.windows_emitted + 1) * w <= prefix:
+            self._emit_window(self.windows_emitted)
+            self.windows_emitted += 1
+            emitted += 1
+        return emitted
+
+    def _emit_window(self, k: int) -> None:
+        """Compute window k's stats from ticket-ordered outcome columns."""
+        from repro.core.metric_routing import _REASON_LABELS, REASON_STUCK
+
+        w = self.config.window
+        log = self.engine._log
+        lo, hi = k * w, (k + 1) * w
+        hops = log.hops[lo:hi]
+        success = log.success[lo:hi]
+        cache_hit = log.cache_hit[lo:hi]
+        reasons = log.reason_codes[lo:hi]
+        n_hits = int(np.count_nonzero(cache_hit))
+        n_routed = w - n_hits
+        # Cache hits are finished with hops == 0, so the window's hop
+        # total is the routed hop total — no boolean-index copy needed.
+        hops_mean = float(hops.sum()) / n_routed if n_routed else 0.0
+        reason_hist = np.bincount(reasons, minlength=len(_REASON_LABELS))
+        if self._baseline_reasons is None:
+            self._baseline_reasons = reason_hist.astype(np.int64)
+        stats = {
+            "window": k,
+            "hops_mean": hops_mean,
+            "success_rate": int(np.count_nonzero(success)) / w,
+            "cache_hit_rate": n_hits / w,
+            "stuck_rate": int(reason_hist[REASON_STUCK]) / w,
+            "hop_inflation": hops_mean / self._hop_baseline,
+            "reason_chi2": chi_square_distance(
+                self._baseline_reasons, reason_hist
+            ),
+        }
+        for name in WINDOW_SERIES:
+            stat_key = name.removeprefix("window.")
+            value = stats[stat_key]
+            self.bank.append(name, value, index=k)
+            verdict = self.detectors[name].update(value)
+            if verdict.flagged:
+                self.alerts.append(Alert(k, name, value, verdict.z))
+                telemetry.count("monitor.alerts")
+        # Wall-clock-dependent SLO inputs ride along for burn rates but
+        # never enter the deterministic bank.
+        self.last_window_stats = {**stats, "latency_p99_ms": self._latency_p99_ms()}
+        if self.engine._frontier is not None:
+            self.last_window_stats["fill_ratio"] = self.engine._frontier.fill_ratio
+        self.last_slo = evaluate_slo(self.config.slo, self.last_window_stats)
+        if telemetry.enabled():
+            for stat_key, value in stats.items():
+                if stat_key != "window":
+                    telemetry.gauge_set(f"monitor.window.{stat_key}", value)
+            telemetry.gauge_set("monitor.windows_emitted", self.windows_emitted + 1)
+
+    def _latency_p99_ms(self) -> float:
+        q = self.engine._latency_q
+        return q.quantile(0.99) * 1e3 if q.count else 0.0
+
+    def _sample_wall(self, now: float) -> None:
+        """Cadence sample of live operational state into the wall bank."""
+        engine = self.engine
+        elapsed = now - self._last_wall_sample
+        if math.isfinite(elapsed) and elapsed > 0:
+            rate = (engine.completed - self._last_wall_completed) / elapsed
+            self.wall_bank.append("wall.throughput", rate)
+        self._last_wall_sample = now
+        self._last_wall_completed = engine.completed
+        self.wall_bank.append("wall.pending", float(engine.pending))
+        self.wall_bank.append("wall.in_flight", float(engine.in_flight))
+        self.wall_bank.append("wall.latency_p99_ms", self._latency_p99_ms())
+        if engine._frontier is not None:
+            self.wall_bank.append(
+                "wall.fill_ratio", engine._frontier.fill_ratio
+            )
+        if telemetry.enabled():
+            telemetry.gauge_set("monitor.wall.pending", float(engine.pending))
+            telemetry.gauge_set("monitor.wall.in_flight", float(engine.in_flight))
+
+    # ------------------------------------------------------------------
+    # probes and verdicts
+    # ------------------------------------------------------------------
+    def run_probe(self):
+        """Run the health probe now; records and returns its report."""
+        if self._probe is None:
+            self._probe = HealthProbe.for_engine(
+                self.engine, n_probes=self.config.probe_n,
+                seed=self.config.probe_seed,
+            )
+        report = self._probe.run()
+        self.last_probe = report
+        self.wall_bank.append("probe.reachability", report.reachability)
+        self.wall_bank.append("probe.hop_inflation", report.hop_inflation)
+        self.wall_bank.append("probe.degree_drift", report.degree_drift)
+        if telemetry.enabled():
+            for stat_key, value in report.to_dict().items():
+                if isinstance(value, (int, float)) and math.isfinite(value):
+                    telemetry.gauge_set(f"monitor.probe.{stat_key}", float(value))
+        return report
+
+    def health(self) -> dict:
+        """One JSON verdict: status, burn rates, alerts, probe scores.
+
+        ``status`` is ``"ok"`` (no breaches, no recent alerts),
+        ``"degraded"`` (an SLO burn rate > 1 or an anomaly flagged in
+        the last 8 windows) or ``"critical"`` (probe reachability below
+        0.99 or partition suspicion above 0.5).
+        """
+        breaches = [v for v in self.last_slo if v.breached]
+        recent_floor = self.windows_emitted - 8
+        recent_alerts = [a for a in self.alerts if a.window >= recent_floor]
+        status = "ok"
+        if breaches or recent_alerts:
+            status = "degraded"
+        probe = self.last_probe
+        if probe is not None and (
+            probe.reachability < 0.99 or probe.partition_suspicion > 0.5
+        ):
+            status = "critical"
+        return {
+            "status": status,
+            "windows_emitted": self.windows_emitted,
+            "completed": int(self.engine.completed),
+            "pending": int(self.engine.pending),
+            "in_flight": int(self.engine.in_flight),
+            "window": {
+                k: v
+                for k, v in self.last_window_stats.items()
+                if isinstance(v, (int, float))
+            },
+            "slo": [
+                {
+                    "objective": v.objective,
+                    "observed": v.observed,
+                    "budget": v.budget,
+                    "burn_rate": v.burn_rate,
+                    "breached": v.breached,
+                }
+                for v in self.last_slo
+            ],
+            "alerts": [a.to_dict() for a in recent_alerts],
+            "n_alerts_total": len(self.alerts),
+            "probe": probe.to_dict() if probe is not None else None,
+        }

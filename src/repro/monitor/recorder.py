@@ -1,0 +1,295 @@
+"""Flight recorder: sampled per-lookup traces with per-round spans.
+
+Sampling is a deterministic splitmix-style hash of each query's
+``(source, key)`` pair — 1-in-``sample_rate`` queries are traced, and
+because the hash never looks at tickets, batching, or worker count, the
+*same* queries are sampled however the stream is sharded.
+
+The recorder costs the serving hot path one vectorized hash per admitted
+micro-batch plus an append per sampled query.  Per-round detail
+(admission → cache consult → each frontier round with its kernel choice
+and candidate count → retirement reason) is reconstructed at export time
+by replaying each sampled query through a private single-walk
+:class:`~repro.core.metric_routing.StreamFrontier` — the kernel's
+bit-identity contract guarantees the replay takes exactly the hops the
+live walk took, which :meth:`FlightRecorder.traces` verifies against
+the engine's outcome log.  Round-span timestamps inside a lookup are
+therefore synthetic (evenly spaced across the measured latency); the
+lookup envelope itself uses the real enqueue time and latency.
+
+Exports: one dict per span as JSONL (:meth:`export_jsonl`) and the
+Chrome trace event format (:meth:`export_chrome_trace`), loadable in
+Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+__all__ = ["FlightRecorder", "LookupTrace", "sample_mask"]
+
+_U64 = np.uint64
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (wrapping uint64 arithmetic)."""
+    z = (x + _GOLDEN).astype(_U64)
+    z = (z ^ (z >> _U64(30))) * _MIX1
+    z = (z ^ (z >> _U64(27))) * _MIX2
+    return z ^ (z >> _U64(31))
+
+
+def sample_mask(sources, keys, sample_rate: int) -> np.ndarray:
+    """Deterministic 1-in-``sample_rate`` mask over ``(source, key)`` pairs.
+
+    Hashes each source id mixed with the raw float64 bits of its key;
+    depends only on the query itself, never on submission order, micro-
+    batching, or worker count.
+    """
+    if sample_rate < 1:
+        raise ValueError(f"sample_rate must be >= 1, got {sample_rate}")
+    sources = np.asarray(sources, dtype=np.int64).astype(_U64)
+    key_bits = np.ascontiguousarray(np.asarray(keys, dtype=np.float64)).view(_U64)
+    h = _mix64(sources ^ _mix64(key_bits))
+    return (h % _U64(sample_rate)) == 0
+
+
+class LookupTrace:
+    """One sampled lookup's reconstructed end-to-end trace."""
+
+    __slots__ = (
+        "ticket", "source", "key", "owner", "cache_hit", "success",
+        "reason", "hops", "latency_seconds", "t_enqueue", "rounds",
+    )
+
+    def __init__(self, **kw):
+        for name in self.__slots__:
+            setattr(self, name, kw[name])
+
+    def to_dict(self) -> dict:
+        d = {name: getattr(self, name) for name in self.__slots__}
+        d["rounds"] = [dict(r) for r in self.rounds]
+        return d
+
+
+class FlightRecorder:
+    """Record sampled lookups on a :class:`~repro.serving.engine.ServingEngine`.
+
+    Attach with ``engine.attach_recorder(recorder)``; the engine calls
+    :meth:`observe_admission` once per admitted micro-batch.
+
+    Args:
+        engine: the serving engine to trace.
+        sample_rate: trace 1 in this many queries (hash-based).
+        max_traces: stop recording new queries past this many sampled
+            (protects memory on unbounded streams); the drop count is
+            visible as :attr:`dropped`.
+    """
+
+    def __init__(self, engine, sample_rate: int = 64, max_traces: int = 100_000):
+        if sample_rate < 1:
+            raise ValueError(f"sample_rate must be >= 1, got {sample_rate}")
+        self.engine = engine
+        self.sample_rate = int(sample_rate)
+        self.max_traces = int(max_traces)
+        self._tickets: list[int] = []
+        self.dropped = 0
+
+    @property
+    def n_sampled(self) -> int:
+        return len(self._tickets)
+
+    def observe_admission(self, tickets, sources, keys) -> None:
+        """Mark the sampled queries of one admitted micro-batch (hot path)."""
+        mask = sample_mask(sources, keys, self.sample_rate)
+        if not mask.any():
+            return
+        picked = np.asarray(tickets)[mask]
+        room = self.max_traces - len(self._tickets)
+        if room < len(picked):
+            self.dropped += len(picked) - max(room, 0)
+            picked = picked[: max(room, 0)]
+        self._tickets.extend(picked.tolist())
+
+    # ------------------------------------------------------------------
+    # reconstruction
+    # ------------------------------------------------------------------
+    def _replay_rounds(self, source: int, key: float) -> list[dict]:
+        """Re-route one query through a private single-walk frontier.
+
+        Bit-identical to the live walk by the kernel contract; records
+        the node each round left from, the kernel that scored it, and
+        its candidate count.
+        """
+        from repro.core.metric_routing import StreamFrontier
+
+        engine = self.engine
+        frontier = StreamFrontier(
+            engine.csr, engine.metric, max_hops=engine.max_hops,
+            capacity=1, kernel=engine.config.kernel,
+        )
+        prepared = engine.metric.prepare(np.asarray([key], dtype=float))
+        frontier.admit(np.asarray([source], dtype=np.int64), prepared)
+        rounds: list[dict] = []
+        while frontier.active_count:
+            at_node = int(frontier.current[0])
+            hops_before = int(frontier.hops[0])
+            frontier.step()
+            rounds.append(
+                {
+                    "round": frontier.rounds,
+                    "node": at_node,
+                    "kernel": frontier.last_round_kernel,
+                    "candidates": frontier.last_round_candidates,
+                    "moved": int(frontier.hops[0]) > hops_before,
+                }
+            )
+        return rounds
+
+    def traces(self, verify: bool = True) -> list[LookupTrace]:
+        """Reconstruct every sampled lookup that has completed.
+
+        Args:
+            verify: assert each replay's hop count equals the live
+                outcome recorded by the engine (cheap, on by default).
+
+        Raises:
+            RuntimeError: when ``verify`` and a replay disagrees with
+                the engine's outcome log — a determinism violation.
+        """
+        from repro.core.metric_routing import _REASON_LABELS
+
+        engine = self.engine
+        log = engine._log
+        out: list[LookupTrace] = []
+        for ticket in self._tickets:
+            if not bool(log.completed[ticket]):
+                continue
+            cache_hit = bool(log.cache_hit[ticket])
+            source = int(log.sources[ticket])
+            key = float(log.keys[ticket])
+            hops = int(log.hops[ticket])
+            rounds = [] if cache_hit else self._replay_rounds(source, key)
+            if verify and not cache_hit:
+                replayed_hops = sum(1 for r in rounds if r["moved"])
+                if replayed_hops != hops:
+                    raise RuntimeError(
+                        f"flight-recorder replay of ticket {ticket} took "
+                        f"{replayed_hops} hops but the live walk took {hops}"
+                    )
+            out.append(
+                LookupTrace(
+                    ticket=ticket,
+                    source=source,
+                    key=key,
+                    owner=int(log.owners[ticket]),
+                    cache_hit=cache_hit,
+                    success=bool(log.success[ticket]),
+                    reason=str(_REASON_LABELS[log.reason_codes[ticket]]),
+                    hops=hops,
+                    latency_seconds=float(log.latency_seconds[ticket]),
+                    t_enqueue=float(log.t_enqueue[ticket]),
+                    rounds=rounds,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str | os.PathLike, verify: bool = True) -> int:
+        """Write one JSON line per sampled lookup; returns the line count."""
+        traces = self.traces(verify=verify)
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            for trace in traces:
+                fh.write(json.dumps(trace.to_dict(), sort_keys=True) + "\n")
+        return len(traces)
+
+    def export_chrome_trace(
+        self, path: str | os.PathLike, verify: bool = True
+    ) -> int:
+        """Write the Chrome trace event format (Perfetto-loadable).
+
+        Each sampled lookup becomes one complete ("ph": "X") event on
+        its own track (tid = ticket), with the cache consult and every
+        frontier round as child events spaced evenly across the
+        measured latency.  Returns the event count.
+        """
+        traces = self.traces(verify=verify)
+        t0 = min((t.t_enqueue for t in traces), default=0.0)
+        events: list[dict] = []
+        for trace in traces:
+            start_us = (trace.t_enqueue - t0) * 1e6
+            dur_us = max(trace.latency_seconds * 1e6, 1.0)
+            args = {
+                "ticket": trace.ticket,
+                "source": trace.source,
+                "key": trace.key,
+                "owner": trace.owner,
+                "hops": trace.hops,
+                "reason": trace.reason,
+                "cache_hit": trace.cache_hit,
+            }
+            events.append(
+                {
+                    "name": "lookup",
+                    "cat": "serving",
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": dur_us,
+                    "pid": 1,
+                    "tid": trace.ticket,
+                    "args": args,
+                }
+            )
+            # Child lanes: cache consult, then one slot per round.
+            n_child = 1 + len(trace.rounds)
+            slot = dur_us / n_child
+            events.append(
+                {
+                    "name": "cache_hit" if trace.cache_hit else "cache_miss",
+                    "cat": "cache",
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": slot,
+                    "pid": 1,
+                    "tid": trace.ticket,
+                    "args": {"cache_hit": trace.cache_hit},
+                }
+            )
+            for i, rnd in enumerate(trace.rounds):
+                events.append(
+                    {
+                        "name": f"round {rnd['round']} ({rnd['kernel']})",
+                        "cat": "frontier",
+                        "ph": "X",
+                        "ts": start_us + (i + 1) * slot,
+                        "dur": slot,
+                        "pid": 1,
+                        "tid": trace.ticket,
+                        "args": {
+                            "node": rnd["node"],
+                            "candidates": rnd["candidates"],
+                            "kernel": rnd["kernel"],
+                            "moved": rnd["moved"],
+                        },
+                    }
+                )
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "sample_rate": self.sample_rate,
+                "n_sampled": self.n_sampled,
+                "dropped": self.dropped,
+            },
+        }
+        with open(os.fspath(path), "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return len(events)

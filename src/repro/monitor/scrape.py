@@ -1,0 +1,143 @@
+"""Scrape endpoint: stdlib HTTP server for ``/metrics`` and ``/health``.
+
+A :class:`ScrapeServer` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread — no third-party dependencies — and serves:
+
+* ``GET /metrics`` — the Prometheus text exposition of the active
+  telemetry registry (:func:`repro.telemetry.export.render_text`);
+* ``GET /health`` — the monitor's JSON verdict
+  (:meth:`repro.monitor.Monitor.health`), HTTP 200 for ``ok`` /
+  ``degraded`` and 503 for ``critical`` so load balancers can act on
+  status without parsing the body;
+* ``GET /series`` — both series banks as JSON (the dashboard's wire
+  format, usable by any external plotter).
+
+Handlers only *read* engine/monitor state (numpy loads of plain
+columns), so serving a scrape never blocks or perturbs the pump loop;
+binding port 0 picks an ephemeral port (see :attr:`ScrapeServer.port`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import telemetry
+
+__all__ = ["ScrapeServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-monitor/1.0"
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        try:
+            if self.path in ("/metrics", "/metrics/"):
+                registry = telemetry.active_registry()
+                if registry is None:
+                    self._send(503, "text/plain", b"telemetry disabled\n")
+                    return
+                body = telemetry.export.render_text(registry).encode()
+                self._send(200, "text/plain; version=0.0.4", body)
+            elif self.path in ("/health", "/health/"):
+                monitor = self.server.monitor  # type: ignore[attr-defined]
+                if monitor is None:
+                    body = json.dumps({"status": "ok", "monitor": None}).encode()
+                    self._send(200, "application/json", body)
+                    return
+                verdict = monitor.health()
+                status = 503 if verdict["status"] == "critical" else 200
+                self._send(status, "application/json", json.dumps(verdict).encode())
+            elif self.path in ("/series", "/series/"):
+                monitor = self.server.monitor  # type: ignore[attr-defined]
+                if monitor is None:
+                    self._send(404, "text/plain", b"no monitor attached\n")
+                    return
+                body = json.dumps(
+                    {
+                        "deterministic": monitor.bank.snapshot(),
+                        "wall": monitor.wall_bank.snapshot(),
+                    }
+                ).encode()
+                self._send(200, "application/json", body)
+            else:
+                self._send(404, "text/plain", b"not found\n")
+        except BrokenPipeError:
+            pass
+
+    def log_message(self, fmt, *args):  # silence per-request stderr noise
+        pass
+
+
+class ScrapeServer:
+    """Daemon-threaded HTTP scrape endpoint.
+
+    Args:
+        monitor: optional :class:`repro.monitor.Monitor` backing
+            ``/health`` and ``/series``; ``/metrics`` only needs
+            telemetry to be enabled.
+        host: bind address (loopback by default).
+        port: bind port; 0 picks an ephemeral one.
+    """
+
+    def __init__(self, monitor=None, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.monitor = monitor  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def monitor(self):
+        return self._server.monitor  # type: ignore[attr-defined]
+
+    @monitor.setter
+    def monitor(self, value) -> None:
+        self._server.monitor = value  # type: ignore[attr-defined]
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after construction, even for port 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ScrapeServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-monitor-scrape",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join(timeout=5.0)
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "ScrapeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

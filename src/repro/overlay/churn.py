@@ -225,9 +225,11 @@ def _run_churn_bulk(
     workers: int | None = None,
 ) -> list[ChurnEpoch]:
     """Array-engine epoch loop of :func:`run_churn`: cohorts, not peers."""
+    from repro import telemetry
     from repro.core.batch_routing import route_many
 
     history = []
+    baseline_degrees: np.ndarray | None = None
     for epoch in range(config.epochs):
         ids = network.ids_array()
         n_leave = min(int(round(config.leave_fraction * len(ids))), len(ids) - 2)
@@ -248,15 +250,37 @@ def _run_churn_bulk(
         mean_hops = float("nan")
         success_rate = 0.0
         reasons: dict[str, int] = {}
+        snap = None
         if config.lookups_per_epoch > 0 and network.n > 0:
             live = network.ids_array()
             sources = rng.integers(len(live), size=config.lookups_per_epoch)
             keys = live[rng.integers(len(live), size=config.lookups_per_epoch)]
-            batch = route_many(network.snapshot(), sources, keys, workers=workers)
+            snap = network.snapshot()
+            batch = route_many(snap, sources, keys, workers=workers)
             mean_hops = batch.mean_hops
             success_rate = batch.success_rate
             for label in batch.reasons[~batch.success].tolist():
                 reasons[label] = reasons.get(label, 0) + 1
+        if telemetry.enabled() and network.n > 0:
+            # Degree-drift feed for repro.monitor: chi-square distance of
+            # this epoch's out-degree histogram from the epoch-0 one.
+            from repro.monitor.anomaly import chi_square_distance
+
+            if snap is None:
+                snap = network.snapshot()
+            degrees = np.bincount(
+                np.asarray(snap.adjacency.out_degrees(), dtype=np.int64)
+            )
+            if baseline_degrees is None:
+                baseline_degrees = degrees
+            drift = chi_square_distance(baseline_degrees, degrees)
+            telemetry.gauge_set("churn.degree_drift", drift)
+            telemetry.trace(
+                "churn.epoch",
+                epoch=epoch,
+                n_peers=network.n,
+                degree_drift=drift,
+            )
         history.append(
             ChurnEpoch(
                 epoch=epoch,

@@ -260,6 +260,11 @@ def _merge_route_results(
         target_keys=target_keys,
         owners=np.concatenate([part.owners for part in parts]),
         paths=paths,
+        # Order-independent totals: the sum over shards is the same for
+        # any worker count because shard boundaries are too.
+        rounds=sum(part.rounds for part in parts),
+        candidates_seen=sum(part.candidates_seen for part in parts),
+        padded_slots_seen=sum(part.padded_slots_seen for part in parts),
     )
 
 

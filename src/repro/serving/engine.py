@@ -331,6 +331,23 @@ class ServingEngine:
         self._routed_total = 0
         self._busy_seconds = 0.0
         self.rounds = 0
+        # Parallel-mode counterparts of the resident frontier's
+        # candidates_seen / padded_slots_seen (shard-summed per batch).
+        self._candidates_seen = 0
+        self._padded_slots_seen = 0
+        # Observability hooks (repro.monitor): both default to None so
+        # the un-monitored hot path pays one attribute check per pump /
+        # admit and nothing else.
+        self._monitor = None
+        self._recorder = None
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a :class:`repro.monitor.Monitor` (called every pump)."""
+        self._monitor = monitor
+
+    def attach_recorder(self, recorder) -> None:
+        """Attach a :class:`repro.monitor.FlightRecorder` (sees admissions)."""
+        self._recorder = recorder
 
     @classmethod
     def from_store(cls, path, config: ServeConfig | None = None) -> "ServingEngine":
@@ -369,6 +386,12 @@ class ServingEngine:
         self._log.sources[tickets] = sources
         self._log.keys[tickets] = keys
         self._log.t_enqueue[tickets] = self._clock()
+        if self._recorder is not None:
+            # At submission (few large chunks) rather than admission
+            # (many small micro-batches): the sampled set is identical —
+            # the hash depends only on each (source, key) — and the
+            # vectorized hash amortizes over the whole chunk.
+            self._recorder.observe_admission(tickets, sources, keys)
         self._queue.push(sources, keys, tickets)
         return tickets
 
@@ -393,6 +416,8 @@ class ServingEngine:
             if retired.size:
                 self._retire(retired)
         self._busy_seconds += self._clock() - started
+        if self._monitor is not None:
+            self._monitor.after_pump()
         return self.completed - before
 
     def drain(self) -> int:
@@ -475,6 +500,11 @@ class ServingEngine:
                 max_hops=self.max_hops, workers=self.workers,
                 kernel=self.config.kernel,
             )
+            # Shard-summed round/fill stats so parallel mode reports the
+            # same observables the resident frontier keeps live.
+            self.rounds += batch.rounds
+            self._candidates_seen += batch.candidates_seen
+            self._padded_slots_seen += batch.padded_slots_seen
             self._finish(
                 tickets,
                 owners=batch.owners,
@@ -527,10 +557,15 @@ class ServingEngine:
             reason_codes, minlength=len(_REASON_LABELS)
         )
         telemetry.count("serving.completed", len(tickets))
-        if telemetry.enabled():
-            telemetry.observe_batch("serving.latency_seconds", latency)
-            if not cache_hit:
-                telemetry.observe_batch("serving.hops", hops)
+        registry = telemetry.active_registry()
+        if registry is not None and (
+            registry.quantiles.get("serving.latency_seconds") is not self._latency_q
+        ):
+            # Publish the engine's own estimators instead of feeding a
+            # second copy of every observation through the registry: one
+            # observe_batch above updates both report() and /metrics.
+            registry.quantiles["serving.latency_seconds"] = self._latency_q
+            registry.quantiles["serving.hops"] = self._hops_q
 
     # ------------------------------------------------------------------
     # results
@@ -597,6 +632,13 @@ class ServingEngine:
                     "frontier_fill_ratio": self._frontier.fill_ratio,
                 }
                 if self._frontier is not None
-                else {"kernel": self.config.kernel}
+                else {
+                    "kernel": self.config.kernel,
+                    "frontier_fill_ratio": (
+                        self._candidates_seen / self._padded_slots_seen
+                        if self._padded_slots_seen
+                        else 1.0
+                    ),
+                }
             ),
         )

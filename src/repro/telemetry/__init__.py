@@ -41,6 +41,8 @@ from repro.telemetry.export import render_text as _render_text
 from repro.telemetry.export import summary_table as _summary_table
 from repro.telemetry.registry import (
     DEFAULT_QUANTILE_PROBS,
+    DEFAULT_TRACE_CAP,
+    ENV_TRACE_CAP,
     Counter,
     Gauge,
     P2Quantile,
@@ -84,7 +86,9 @@ __all__ = [
     "merge_deltas",
     "apply_delta",
     "DEFAULT_QUANTILE_PROBS",
+    "DEFAULT_TRACE_CAP",
     "ENV_TELEMETRY",
+    "ENV_TRACE_CAP",
     "export",
     "tracing",
     "shard_merge",
@@ -100,20 +104,31 @@ ENV_TELEMETRY = "REPRO_TELEMETRY"
 _ACTIVE: Registry | None = None
 
 
-def enable(jsonl: str | os.PathLike | None = None) -> Registry:
+def enable(
+    jsonl: str | os.PathLike | None = None,
+    trace_cap: int | None = None,
+) -> Registry:
     """Turn telemetry on for this process (idempotent).
 
     Args:
         jsonl: optional path; when given, trace events stream to it as
             JSONL for the lifetime of this enablement (closed with the
             final metrics snapshot by :func:`disable` / :func:`reset`).
+        trace_cap: optional bound on the buffered trace-event deque.
+            Defaults to ``REPRO_TELEMETRY_TRACE_CAP`` from the
+            environment, else :data:`DEFAULT_TRACE_CAP`.  When telemetry
+            is already enabled, re-enabling with a different cap rebinds
+            the buffer (newest events kept).  Evictions past the cap are
+            counted in the ``telemetry.events.dropped`` counter.
 
     Returns:
         The active :class:`Registry`.
     """
     global _ACTIVE
     if _ACTIVE is None:
-        _ACTIVE = Registry()
+        _ACTIVE = Registry(max_events=trace_cap)
+    elif trace_cap is not None:
+        _ACTIVE.set_trace_cap(trace_cap)
     if jsonl is not None and _ACTIVE.sink is None:
         _ACTIVE.sink = export.JsonlSink(jsonl)
     return _ACTIVE

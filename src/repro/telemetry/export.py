@@ -18,10 +18,14 @@ from __future__ import annotations
 
 import json
 import os
+import re
 
 from repro.telemetry.registry import Registry
 
 __all__ = ["JsonlSink", "write_jsonl", "render_text", "summary_table"]
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
 
 
 class JsonlSink:
@@ -80,8 +84,24 @@ def write_jsonl(path: str | os.PathLike, registry: Registry) -> int:
 
 
 def _mangle(name: str) -> str:
-    """Dotted instrument name → Prometheus metric name."""
-    return "repro_" + name.replace(".", "_").replace("-", "_")
+    """Dotted instrument name → Prometheus metric name.
+
+    Dots and dashes become underscores; any remaining character outside
+    ``[a-zA-Z0-9_:]`` is likewise replaced so the exposition stays
+    scrapeable whatever the caller named the instrument.
+    """
+    return "repro_" + _INVALID_METRIC_CHARS.sub("_", name.replace(".", "_"))
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label(name: str, value) -> str:
+    """Render one ``name="value"`` label pair with a sanitized name."""
+    safe_name = _INVALID_LABEL_CHARS.sub("_", name)
+    return f'{safe_name}="{_escape_label_value(str(value))}"'
 
 
 def render_text(registry: Registry) -> str:
@@ -101,8 +121,8 @@ def render_text(registry: Registry) -> str:
         out.append(f"{metric}_count {timer.count}")
         out.append(f"{metric}_sum {timer.total}")
         if timer.count:
-            out.append(f'{metric}{{stat="min"}} {timer.min}')
-            out.append(f'{metric}{{stat="max"}} {timer.max}')
+            out.append(f'{metric}{{{_label("stat", "min")}}} {timer.min}')
+            out.append(f'{metric}{{{_label("stat", "max")}}} {timer.max}')
     for name, quantile in sorted(registry.quantiles.items()):
         if not quantile.count:
             continue
@@ -110,7 +130,7 @@ def render_text(registry: Registry) -> str:
         out.append(f"# TYPE {metric} summary")
         out.append(f"{metric}_count {quantile.count}")
         for p, value in quantile.quantiles().items():
-            out.append(f'{metric}{{quantile="{p:g}"}} {value}')
+            out.append(f'{metric}{{{_label("quantile", f"{p:g}")}}} {value}')
     return "\n".join(out) + "\n"
 
 
@@ -152,5 +172,7 @@ def summary_table(registry: Registry) -> str:
         f"{name:<{name_width}}  {kind:<{kind_width}}  {value}"
         for name, kind, value in rows
     )
-    lines.append(f"(trace events buffered: {len(registry.events)})")
+    dropped = getattr(registry, "dropped_events", 0)
+    suffix = f", dropped: {dropped}" if dropped else ""
+    lines.append(f"(trace events buffered: {len(registry.events)}{suffix})")
     return "\n".join(lines) + "\n"

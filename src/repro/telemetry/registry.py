@@ -25,6 +25,7 @@ telemetry is off.
 from __future__ import annotations
 
 import math
+import os
 import threading
 from collections import deque
 
@@ -37,7 +38,32 @@ __all__ = [
     "P2Quantile",
     "Registry",
     "DEFAULT_QUANTILE_PROBS",
+    "DEFAULT_TRACE_CAP",
+    "ENV_TRACE_CAP",
 ]
+
+#: Default bound on the buffered trace-event deque (oldest dropped).
+DEFAULT_TRACE_CAP = 65536
+
+#: Environment override for the trace-event bound; parsed once per
+#: :class:`Registry` construction so ``REPRO_TELEMETRY_TRACE_CAP=1000000``
+#: sizes a long flight-recorder session without code changes.
+ENV_TRACE_CAP = "REPRO_TELEMETRY_TRACE_CAP"
+
+
+def _resolve_trace_cap(max_events: int | None) -> int:
+    """Resolve the trace bound: explicit arg > env override > default.
+
+    Raises:
+        ValueError: for a bound below 1 (from either source).
+    """
+    if max_events is None:
+        raw = os.environ.get(ENV_TRACE_CAP, "").strip()
+        max_events = int(raw) if raw else DEFAULT_TRACE_CAP
+    max_events = int(max_events)
+    if max_events < 1:
+        raise ValueError(f"trace cap must be >= 1, got {max_events}")
+    return max_events
 
 #: Interior probabilities tracked by default — the percentile set the
 #: serving arc's SLO reporting reads (p50/p90/p95/p99/p999).
@@ -382,14 +408,17 @@ class Registry:
 
     Args:
         max_events: bound on the trace-event buffer (oldest dropped).
+            ``None`` resolves ``REPRO_TELEMETRY_TRACE_CAP`` from the
+            environment, falling back to :data:`DEFAULT_TRACE_CAP`.
     """
 
-    def __init__(self, max_events: int = 65536):
+    def __init__(self, max_events: int | None = None):
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.timers: dict[str, Timer] = {}
         self.quantiles: dict[str, P2Quantile] = {}
-        self.events: deque = deque(maxlen=max_events)
+        self.events: deque = deque(maxlen=_resolve_trace_cap(max_events))
+        self.dropped_events: int = 0
         self.sink = None  # streaming event sink (see telemetry.export)
         self._lock = threading.Lock()
 
@@ -413,6 +442,26 @@ class Registry:
         self, name: str, probs: tuple[float, ...] = DEFAULT_QUANTILE_PROBS
     ) -> P2Quantile:
         return self._get(self.quantiles, name, lambda: P2Quantile(probs))
+
+    @property
+    def trace_cap(self) -> int:
+        return self.events.maxlen or 0
+
+    def set_trace_cap(self, max_events: int) -> None:
+        """Rebind the trace buffer to a new bound, keeping newest events."""
+        max_events = _resolve_trace_cap(max_events)
+        if max_events == self.events.maxlen:
+            return
+        with self._lock:
+            self.events = deque(self.events, maxlen=max_events)
+
+    def record_event(self, event) -> None:
+        """Buffer a trace event, counting (instead of hiding) evictions."""
+        events = self.events
+        if len(events) >= (events.maxlen or 0):
+            self.dropped_events += 1
+            self.counter("telemetry.events.dropped").inc(1)
+        events.append(event)
 
     def snapshot(self) -> dict:
         """Plain-data view of every instrument (for JSON export)."""

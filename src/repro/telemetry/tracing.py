@@ -58,7 +58,7 @@ def emit(name: str, **fields) -> None:
     event = TraceEvent(name=name, wall=time.time(), fields=fields)
     if registry.sink is not None:
         registry.sink.emit(event)
-    registry.events.append(event)
+    registry.record_event(event)
 
 
 @contextmanager
@@ -86,4 +86,4 @@ def span(name: str, **fields):
         )
         if registry.sink is not None:
             registry.sink.emit(event)
-        registry.events.append(event)
+        registry.record_event(event)

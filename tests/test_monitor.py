@@ -1,0 +1,423 @@
+"""Tests for :mod:`repro.monitor`: ring series, anomaly detection,
+health probes, the flight recorder, the monitor driver's determinism
+contract, and the scrape/dashboard surfaces."""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.core import build_uniform_model
+from repro.core.builder import GraphConfig
+from repro.monitor import (
+    EwmaDetector,
+    FlightRecorder,
+    HealthProbe,
+    Monitor,
+    MonitorConfig,
+    RingSeries,
+    ScrapeServer,
+    SeriesBank,
+    SloPolicy,
+    chi_square_distance,
+    evaluate_slo,
+    hop_baseline,
+    render_dashboard,
+    sample_mask,
+    sparkline,
+)
+from repro.monitor.monitor import WINDOW_SERIES
+from repro.serving import DemandModel, ServeConfig, ServingEngine
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_uniform_model(
+        4096, np.random.default_rng(1234), GraphConfig(out_degree=6)
+    )
+
+
+@pytest.fixture(scope="module")
+def demand(graph):
+    return DemandModel(
+        graph.ids, n_users=400, n_peers=graph.n, rng=np.random.default_rng(77)
+    )
+
+
+def _monitored_serve(graph, demand, *, workers=None, n_queries=12_000, window=1024):
+    engine = ServingEngine(
+        graph,
+        ServeConfig(admit_per_round=512, cache_capacity=256, workers=workers),
+    )
+    monitor = Monitor(
+        engine,
+        MonitorConfig(window=window, probe_cadence_seconds=0),
+        clock=lambda: 0.0,
+    )
+    engine.attach_monitor(monitor)
+    engine.serve(demand, n_queries, np.random.default_rng(31))
+    return engine, monitor
+
+
+class TestRingSeries:
+    def test_append_and_read_before_wrap(self):
+        s = RingSeries("x", capacity=8)
+        for i in range(5):
+            s.append(float(i * 10))
+        assert len(s) == 5
+        assert s.values().tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+        assert s.indices().tolist() == [0, 1, 2, 3, 4]
+        assert s.last == 40.0
+
+    def test_wraparound_keeps_newest(self):
+        s = RingSeries("x", capacity=4)
+        for i in range(10):
+            s.append(float(i))
+        assert len(s) == 4
+        assert s.values().tolist() == [6.0, 7.0, 8.0, 9.0]
+        assert s.indices().tolist() == [6, 7, 8, 9]
+        assert s.total_appended == 10
+
+    def test_explicit_indices_and_empty_last(self):
+        s = RingSeries("x", capacity=4)
+        assert np.isnan(s.last)
+        s.append(1.5, index=42)
+        assert s.indices().tolist() == [42]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            RingSeries("x", capacity=0)
+
+    def test_bank_snapshot(self):
+        bank = SeriesBank(capacity=4)
+        bank.append("a", 1.0)
+        bank.append("b", 2.0, index=7)
+        snap = bank.snapshot()
+        assert snap["a"]["values"] == [1.0]
+        assert snap["b"]["indices"] == [7]
+        assert bank.names() == ["a", "b"]
+        assert "a" in bank and len(bank) == 2
+
+
+class TestAnomaly:
+    def test_stationary_traffic_stays_quiet(self):
+        rng = np.random.default_rng(9)
+        det = EwmaDetector(alpha=0.2, z_threshold=4.0, warmup=8)
+        flags = [det.update(5.0 + 0.1 * rng.standard_normal()) for _ in range(200)]
+        assert not any(v.flagged for v in flags)
+
+    def test_step_change_is_flagged(self):
+        rng = np.random.default_rng(9)
+        det = EwmaDetector(alpha=0.2, z_threshold=4.0, warmup=8)
+        for _ in range(50):
+            det.update(5.0 + 0.1 * rng.standard_normal())
+        # Synthetic hop-inflation step: the level doubles.
+        verdict = det.update(10.0)
+        assert verdict.flagged and verdict.z > 4.0
+
+    def test_flat_warmup_does_not_alarm_on_wiggle(self):
+        det = EwmaDetector(warmup=4, min_std=1e-9)
+        for _ in range(20):
+            det.update(3.0)
+        assert not det.update(3.0000001).flagged
+
+    def test_detector_validation(self):
+        with pytest.raises(ValueError):
+            EwmaDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaDetector(z_threshold=0.0)
+
+    def test_chi_square_properties(self):
+        assert chi_square_distance([1, 2, 3], [1, 2, 3]) == 0.0
+        assert chi_square_distance([1, 0], [0, 1]) == 1.0
+        # Scale invariance (normalised) and zero-padding of short input.
+        assert chi_square_distance([1, 2], [10, 20]) == pytest.approx(0.0)
+        assert chi_square_distance([1, 2], [1, 2, 0]) == pytest.approx(0.0)
+        assert chi_square_distance([], []) == 0.0
+
+    def test_hop_baseline(self):
+        assert hop_baseline(1) == 1.0
+        assert hop_baseline(2 **10, 1.0) == pytest.approx(100.0)
+        assert hop_baseline(2 **10, 10.0) == pytest.approx(10.0)
+        assert hop_baseline(4, 1000.0) == 1.0  # floored
+
+    def test_evaluate_slo_burn_rates(self):
+        policy = SloPolicy(
+            hop_inflation_max=2.0, cache_hit_min=0.5, reason_chi2_max=0.25
+        )
+        verdicts = evaluate_slo(
+            policy,
+            {"hop_inflation": 4.0, "cache_hit_rate": 0.25, "reason_chi2": 0.1},
+        )
+        by_name = {v.objective: v for v in verdicts}
+        assert by_name["hop_inflation"].burn_rate == pytest.approx(2.0)
+        assert by_name["hop_inflation"].breached
+        # Floor objective: budget/observed.
+        assert by_name["cache_hit_rate"].burn_rate == pytest.approx(2.0)
+        assert by_name["cache_hit_rate"].breached
+        assert not by_name["reason_chi2"].breached
+
+    def test_evaluate_slo_skips_missing(self):
+        verdicts = evaluate_slo(SloPolicy(latency_p99_ms_max=10.0), {})
+        assert verdicts == []
+
+
+class TestHealthProbe:
+    def test_intact_overlay_probes_healthy(self, graph):
+        probe = HealthProbe(
+            graph.adjacency, _metric_for(graph), graph.ids, n_probes=128
+        )
+        report = probe.run()
+        assert report.reachability == 1.0
+        assert report.partition_suspicion == 0.0
+        assert report.degree_drift == 0.0
+        assert report.unreached == 0
+        assert report.healthy
+
+    def test_same_seed_same_workload(self, graph):
+        metric = _metric_for(graph)
+        a = HealthProbe(graph.adjacency, metric, graph.ids, seed=5)
+        b = HealthProbe(graph.adjacency, metric, graph.ids, seed=5)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.keys, b.keys)
+        r1, r2 = a.run(), b.run()
+        assert r1.to_dict() == r2.to_dict()
+
+    def test_rejects_bad_probe_count(self, graph):
+        with pytest.raises(ValueError):
+            HealthProbe(graph.adjacency, None, graph.ids, n_probes=0)
+
+    def test_for_engine_scores_serving_overlay(self, graph):
+        engine = ServingEngine(graph, ServeConfig(admit_per_round=256))
+        report = HealthProbe.for_engine(engine, n_probes=64).run()
+        assert report.reachability == 1.0
+        assert report.n_probes == 64
+
+
+def _metric_for(graph):
+    from repro.core.metric_routing import GreedyValueMetric
+
+    return GreedyValueMetric(graph.ids, graph.space)
+
+
+class TestSampleMask:
+    def test_worker_count_independence(self, graph, demand):
+        """The sampled ticket set is identical for 1/2/4 workers."""
+        sampled = {}
+        for workers in (1, 2, 4):
+            engine = ServingEngine(
+                graph,
+                ServeConfig(admit_per_round=512, cache_capacity=256, workers=workers),
+            )
+            recorder = FlightRecorder(engine, sample_rate=16)
+            engine.attach_recorder(recorder)
+            engine.serve(demand, 8192, np.random.default_rng(31))
+            sampled[workers] = sorted(recorder._tickets)
+        assert sampled[1] == sampled[2] == sampled[4]
+        assert len(sampled[1]) > 0
+
+    def test_sharding_invariance(self):
+        """Chunked evaluation concatenates to the whole-array mask."""
+        rng = np.random.default_rng(3)
+        sources = rng.integers(0, 1 << 20, size=4096, dtype=np.int64)
+        keys = rng.random(4096)
+        whole = sample_mask(sources, keys, 8)
+        parts = [
+            sample_mask(sources[lo : lo + 1000], keys[lo : lo + 1000], 8)
+            for lo in range(0, 4096, 1000)
+        ]
+        assert np.array_equal(whole, np.concatenate(parts))
+
+    def test_rate_one_samples_everything(self):
+        sources = np.arange(100, dtype=np.int64)
+        keys = np.linspace(0, 1, 100, endpoint=False)
+        assert sample_mask(sources, keys, 1).all()
+
+    def test_rate_is_approximately_honoured(self):
+        rng = np.random.default_rng(11)
+        mask = sample_mask(
+            rng.integers(0, 1 << 30, size=200_000, dtype=np.int64),
+            rng.random(200_000),
+            64,
+        )
+        assert 0.5 / 64 < mask.mean() < 2.0 / 64
+
+
+class TestFlightRecorder:
+    def test_traces_replay_and_export(self, graph, demand, tmp_path):
+        engine = ServingEngine(
+            graph, ServeConfig(admit_per_round=512, cache_capacity=256)
+        )
+        recorder = FlightRecorder(engine, sample_rate=16)
+        engine.attach_recorder(recorder)
+        engine.serve(demand, 6000, np.random.default_rng(31))
+        traces = recorder.traces(verify=True)  # raises on replay mismatch
+        assert len(traces) == recorder.n_sampled > 0
+        routed = [t for t in traces if not t.cache_hit]
+        assert routed, "expected at least one routed (non-cache-hit) trace"
+        for trace in routed:
+            assert sum(1 for r in trace.rounds if r["moved"]) == trace.hops
+        n_lines = recorder.export_jsonl(tmp_path / "traces.jsonl")
+        lines = (tmp_path / "traces.jsonl").read_text().splitlines()
+        assert len(lines) == n_lines == len(traces)
+        assert all("ticket" in json.loads(line) for line in lines)
+        n_events = recorder.export_chrome_trace(tmp_path / "trace.json")
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        assert len(payload["traceEvents"]) == n_events
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_max_traces_bound_counts_drops(self, graph, demand):
+        engine = ServingEngine(graph, ServeConfig(admit_per_round=512))
+        recorder = FlightRecorder(engine, sample_rate=1, max_traces=100)
+        engine.attach_recorder(recorder)
+        engine.serve(demand, 1000, np.random.default_rng(31))
+        assert recorder.n_sampled == 100
+        assert recorder.dropped == 900
+
+    def test_rejects_bad_sample_rate(self, graph):
+        engine = ServingEngine(graph, ServeConfig())
+        with pytest.raises(ValueError):
+            FlightRecorder(engine, sample_rate=0)
+
+
+class TestMonitorDeterminism:
+    def test_window_series_bit_identical_across_worker_counts(
+        self, graph, demand
+    ):
+        """The deterministic bank is the same, bit for bit, serial vs
+        sharded — the monitor-level restatement of the serving
+        determinism contract."""
+        banks = {}
+        for workers in (None, 2):
+            _, monitor = _monitored_serve(graph, demand, workers=workers)
+            banks[workers] = {
+                name: monitor.bank.series(name).values().copy()
+                for name in WINDOW_SERIES
+            }
+            assert monitor.windows_emitted > 0
+        for name in WINDOW_SERIES:
+            assert np.array_equal(banks[None][name], banks[2][name]), name
+
+    def test_windows_emit_only_when_prefix_complete(self, graph, demand):
+        engine, monitor = _monitored_serve(graph, demand, n_queries=4096)
+        assert monitor.windows_emitted == 4096 // 1024
+        stats = monitor.last_window_stats
+        assert 0.0 <= stats["success_rate"] <= 1.0
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        assert stats["hops_mean"] > 0.0
+
+    def test_monitor_detects_synthetic_hop_inflation_step(self):
+        """Feeding doctored outcome columns through _emit_window flags a
+        hop-inflation step and stays quiet while traffic is stationary."""
+
+        class _Log:
+            pass
+
+        class _Engine:
+            pass
+
+        n_windows, w = 24, 256
+        rng = np.random.default_rng(5)
+        hops = rng.integers(4, 8, size=n_windows * w).astype(np.int64)
+        hops[16 * w :] *= 6  # the step
+        log = _Log()
+        log.hops = hops
+        log.success = np.ones(n_windows * w, dtype=bool)
+        log.cache_hit = np.zeros(n_windows * w, dtype=bool)
+        log.reason_codes = np.zeros(n_windows * w, dtype=np.int8)
+        engine = _Engine()
+        engine._log = log
+        engine._frontier = None
+        engine._latency_q = None
+        monitor = Monitor.__new__(Monitor)
+        monitor.engine = engine
+        monitor.config = MonitorConfig(
+            window=w, warmup_windows=4, probe_cadence_seconds=0
+        )
+        monitor.bank = SeriesBank(64)
+        monitor.wall_bank = SeriesBank(64)
+        monitor.detectors = {
+            name: EwmaDetector(warmup=4) for name in WINDOW_SERIES
+        }
+        monitor.alerts = []
+        monitor.windows_emitted = 0
+        monitor.last_window_stats = {}
+        monitor.last_slo = []
+        monitor.last_probe = None
+        monitor._baseline_reasons = None
+        monitor._hop_baseline = 6.0
+        monitor._probe = None
+        monitor._latency_p99_ms = lambda: 0.0
+        for k in range(16):
+            monitor._emit_window(k)
+            monitor.windows_emitted += 1
+        assert monitor.alerts == []  # stationary: quiet
+        for k in range(16, n_windows):
+            monitor._emit_window(k)
+            monitor.windows_emitted += 1
+        flagged_series = {a.series for a in monitor.alerts}
+        assert "window.hops_mean" in flagged_series
+        assert "window.hop_inflation" in flagged_series
+
+    def test_health_verdict_shape(self, graph, demand):
+        engine, monitor = _monitored_serve(graph, demand)
+        verdict = monitor.health()
+        assert verdict["status"] in ("ok", "degraded", "critical")
+        assert verdict["windows_emitted"] == monitor.windows_emitted
+        assert verdict["completed"] == engine.completed
+        assert isinstance(verdict["slo"], list)
+        json.dumps(verdict)  # must be JSON-serialisable as-is
+
+    def test_monitoring_does_not_perturb_outcomes(self, graph, demand):
+        bare = ServingEngine(
+            graph, ServeConfig(admit_per_round=512, cache_capacity=256)
+        )
+        bare.serve(demand, 6000, np.random.default_rng(31))
+        engine, _ = _monitored_serve(graph, demand, n_queries=6000)
+        for col in ("owners", "hops", "success", "reason_codes", "cache_hit"):
+            assert np.array_equal(
+                getattr(bare.results(), col), getattr(engine.results(), col)
+            ), col
+
+
+class TestScrapeAndDashboard:
+    def test_scrape_endpoints(self, graph, demand):
+        telemetry.enable()
+        try:
+            engine, monitor = _monitored_serve(graph, demand, n_queries=4096)
+            with ScrapeServer(monitor) as server:
+                metrics = urllib.request.urlopen(server.url + "/metrics").read()
+                assert b"repro_monitor_window_hops_mean" in metrics
+                health = json.loads(
+                    urllib.request.urlopen(server.url + "/health").read()
+                )
+                assert health["status"] in ("ok", "degraded")
+                series = json.loads(
+                    urllib.request.urlopen(server.url + "/series").read()
+                )
+                assert "window.hops_mean" in series["deterministic"]
+                with pytest.raises(urllib.error.HTTPError) as err:
+                    urllib.request.urlopen(server.url + "/nope")
+                assert err.value.code == 404
+        finally:
+            telemetry.disable()
+
+    def test_scrape_metrics_503_when_telemetry_disabled(self, graph, demand):
+        assert not telemetry.enabled()
+        _, monitor = _monitored_serve(graph, demand, n_queries=2048)
+        with ScrapeServer(monitor) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/metrics")
+            assert err.value.code == 503
+
+    def test_sparkline_and_dashboard_render(self, graph, demand):
+        assert set(sparkline([])) <= {"·"}  # empty series pads with dots
+        line = sparkline([0.0, 0.5, 1.0], width=3)
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+        _, monitor = _monitored_serve(graph, demand, n_queries=4096)
+        frame = render_dashboard(monitor)
+        assert "window.hops_mean" in frame
+        assert "burn" in frame  # the SLO burn-rate block rendered

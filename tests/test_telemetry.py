@@ -21,6 +21,7 @@ The guarantees pinned here:
 from __future__ import annotations
 
 import json
+import re
 import subprocess
 import sys
 
@@ -421,3 +422,76 @@ class TestExports:
         out = capsys.readouterr().out
         assert "routing.walks" in out
         assert "routing.hops" in out
+
+
+class TestTraceCapAndSanitization:
+    """PR-10 guarantees: bounded trace buffers that count their drops,
+    and a Prometheus exposition that stays scrapeable for any name."""
+
+    def test_default_trace_cap(self):
+        registry = telemetry.enable()
+        assert registry.trace_cap == telemetry.DEFAULT_TRACE_CAP
+
+    def test_enable_arg_sets_trace_cap(self):
+        registry = telemetry.enable(trace_cap=16)
+        assert registry.trace_cap == 16
+        # Re-enabling with a new cap rebinds the live buffer.
+        registry = telemetry.enable(trace_cap=8)
+        assert registry.trace_cap == 8
+
+    def test_env_var_sets_trace_cap(self, monkeypatch):
+        monkeypatch.setenv(telemetry.ENV_TRACE_CAP, "32")
+        registry = telemetry.enable()
+        assert registry.trace_cap == 32
+
+    def test_invalid_trace_cap_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry.enable(trace_cap=0)
+
+    def test_eviction_counts_dropped_events(self):
+        registry = telemetry.enable(trace_cap=4)
+        for i in range(10):
+            telemetry.trace("evt", i=i)
+        assert len(registry.events) == 4
+        assert registry.dropped_events == 6
+        assert registry.counters["telemetry.events.dropped"].value == 6
+        # The newest events are the ones retained.
+        assert [e.fields["i"] for e in registry.events] == [6, 7, 8, 9]
+
+    def test_shrinking_cap_keeps_newest(self):
+        registry = telemetry.enable(trace_cap=8)
+        for i in range(8):
+            telemetry.trace("evt", i=i)
+        registry.set_trace_cap(3)
+        assert [e.fields["i"] for e in registry.events] == [5, 6, 7]
+
+    def test_summary_table_reports_drops(self):
+        registry = telemetry.enable(trace_cap=2)
+        for i in range(5):
+            telemetry.trace("evt", i=i)
+        assert "dropped" in summary_table(registry)
+
+    def test_gauges_render_with_type_line(self):
+        registry = telemetry.enable()
+        telemetry.gauge_set("monitor.window.hops_mean", 6.5)
+        text = render_text(registry)
+        assert "# TYPE repro_monitor_window_hops_mean gauge" in text
+        assert "repro_monitor_window_hops_mean 6.5" in text
+
+    def test_metric_names_are_sanitized(self):
+        registry = telemetry.enable()
+        telemetry.count("weird name/with-bad%chars", 3)
+        text = render_text(registry)
+        assert "repro_weird_name_with_bad_chars_total 3" in text
+        # Nothing outside the Prometheus metric-name alphabet survives.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            metric = line.split("{")[0].split(" ")[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", metric), metric
+
+    def test_label_values_are_escaped(self):
+        from repro.telemetry.export import _escape_label_value, _label
+
+        assert _escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert _label("bad name", 'v"1') == 'bad_name="v\\"1"'
